@@ -1,0 +1,27 @@
+//! Criterion bench behind **Table I**: simulation time per
+//! (design, abstraction level, checker count) cell.
+
+use abv_bench::{checker_counts, run, Design, Level};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Workload size per iteration; small enough for criterion's repetitions.
+const SIZE: usize = 120;
+
+fn bench_table1(c: &mut Criterion) {
+    for design in [Design::Des56, Design::ColorConv] {
+        let mut group = c.benchmark_group(format!("table1/{}", design.label()));
+        for level in Level::ALL {
+            for &n in &checker_counts(design) {
+                let id = BenchmarkId::new(level.label(), format!("{n}C"));
+                group.bench_with_input(id, &(level, n), |b, &(level, n)| {
+                    b.iter(|| black_box(run(design, level, n, SIZE, 7)));
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Table I** (simulation results): for each test
+//! case and abstraction level, the simulation time without checkers and
+//! with 1 / 5 / all checkers, plus the checker overhead percentage.
+//!
+//! ```text
+//! cargo run --release -p abv-bench --bin table1
+//! ABV_BENCH_SIZE=10000 cargo run --release -p abv-bench --bin table1
+//! ```
+
+use abv_bench::{checker_counts, default_reps, default_size, overhead_pct, run_best_of, Design,
+    Level};
+
+fn main() {
+    let size = default_size();
+    let reps = default_reps();
+    println!("TABLE I reproduction — simulation results");
+    println!("(workload: {size} requests per IP, best of {reps} runs; absolute times are");
+    println!(" machine-specific, compare the overhead shape with the paper)\n");
+
+    println!("Abstr. level   w/out c. (s)  with c. (s)   overhead   checkers");
+    for design in [Design::Des56, Design::ColorConv] {
+        println!("--- {} ---", design.label());
+        for level in Level::ALL {
+            let counts = checker_counts(design);
+            let base = run_best_of(design, level, 0, size, reps);
+            for &n in &counts[1..] {
+                let with = run_best_of(design, level, n, size, reps);
+                let label = if n == *counts.last().expect("non-empty") {
+                    "All C".to_owned()
+                } else {
+                    format!("{n} C")
+                };
+                println!(
+                    "{:<14} {:>12.3} {:>12.3} {:>9.1}%   {}",
+                    format!("{} {}", level.label(), label),
+                    base.wall.as_secs_f64(),
+                    with.wall.as_secs_f64(),
+                    overhead_pct(base.wall, with.wall),
+                    label
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("Expected shape (paper Table I):");
+    println!(" - overhead grows with the number of checkers at every level;");
+    println!(" - TLM-CA overhead (unabstracted checkers) exceeds the RTL overhead;");
+    println!(" - TLM-AT overhead (abstracted checkers) is roughly an order of");
+    println!("   magnitude below the RTL overhead.");
+}

@@ -1,0 +1,345 @@
+//! `abv-bench` — the harness regenerating the paper's evaluation
+//! (Section V): Table I simulation-time/overhead measurements and the
+//! Fig. 6 RTL→TLM speedup comparison, plus ablation studies.
+//!
+//! Binaries:
+//!
+//! - `table1`: prints the Table I reproduction for both IPs;
+//! - `fig6`: prints the Fig. 6 average-speedup reproduction;
+//! - `fig3`: prints the Fig. 3 property-abstraction table.
+//!
+//! Criterion benches (`cargo bench`): `checker_overhead`, `speedup`,
+//! `ablation`.
+//!
+//! Absolute times differ from the paper's testbed; the *shape* is what is
+//! reproduced: overhead grows with checker count at every level, reusing
+//! unabstracted checkers at TLM-CA costs more than at RTL, and abstracted
+//! checkers at TLM-AT cost an order of magnitude less (see EXPERIMENTS.md).
+
+use std::time::{Duration, Instant};
+
+use abv_checker::{
+    collect_clock_reports, collect_tx_reports, install_clock_checkers, install_tx_checkers,
+    CheckReport,
+};
+use abv_core::{abstract_property, reuse_at_cycle_accurate, AbstractionConfig};
+use designs::{colorconv, des56, SuiteEntry, CLOCK_PERIOD_NS};
+use desim::SimStats;
+use psl::ClockedProperty;
+use tlmkit::CodingStyle;
+
+/// Which IP to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// DES56 (9 properties, latency 17).
+    Des56,
+    /// ColorConv (12 properties, latency 8).
+    ColorConv,
+}
+
+impl Design {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Des56 => "DES56",
+            Design::ColorConv => "ColorConv",
+        }
+    }
+
+    /// The IP's property suite.
+    #[must_use]
+    pub fn suite(self) -> Vec<SuiteEntry> {
+        match self {
+            Design::Des56 => des56::suite(),
+            Design::ColorConv => colorconv::suite(),
+        }
+    }
+
+    /// The abstraction configuration for this IP.
+    #[must_use]
+    pub fn config(self) -> AbstractionConfig {
+        let base = AbstractionConfig::new(CLOCK_PERIOD_NS);
+        match self {
+            Design::Des56 => base.abstract_signals(des56::ABSTRACTED_SIGNALS.iter().copied()),
+            Design::ColorConv => {
+                base.abstract_signals(colorconv::ABSTRACTED_SIGNALS.iter().copied())
+            }
+        }
+    }
+}
+
+/// Abstraction level of a measured run (Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// RTL simulation with RTL checkers.
+    Rtl,
+    /// TLM cycle-accurate simulation; checkers synthesized from the
+    /// *unabstracted* RTL properties (re-clocked to `T_b`).
+    TlmCa,
+    /// TLM approximately-timed simulation (paper's loose style); checkers
+    /// synthesized from the *abstracted* properties.
+    TlmAt,
+}
+
+impl Level {
+    /// Display label matching the paper's table.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Rtl => "RTL",
+            Level::TlmCa => "TLM-CA",
+            Level::TlmAt => "TLM-AT",
+        }
+    }
+
+    /// All levels in Table I order.
+    pub const ALL: [Level; 3] = [Level::Rtl, Level::TlmCa, Level::TlmAt];
+}
+
+/// Outcome of one measured simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock duration of the simulation loop (excludes model/checker
+    /// construction).
+    pub wall: Duration,
+    /// Kernel activity counters.
+    pub stats: SimStats,
+    /// Checker reports (empty for a run without checkers).
+    pub report: CheckReport,
+}
+
+/// The checker set sizes of Table I (`w/out c.`, `1 C`, `5 C`, `All C`).
+#[must_use]
+pub fn checker_counts(design: Design) -> [usize; 4] {
+    match design {
+        Design::Des56 => [0, 1, 5, 9],
+        Design::ColorConv => [0, 1, 5, 12],
+    }
+}
+
+/// The properties installed at `level`, in suite order.
+///
+/// - RTL: the original clock-context properties;
+/// - TLM-CA: the originals re-clocked onto `T_b` (no abstraction);
+/// - TLM-AT: the surviving results of Methodology III.1.
+#[must_use]
+pub fn properties_for_level(design: Design, level: Level) -> Vec<(String, ClockedProperty)> {
+    let suite = design.suite();
+    match level {
+        Level::Rtl => suite.iter().map(SuiteEntry::named).collect(),
+        Level::TlmCa => suite
+            .iter()
+            .map(|e| {
+                (e.name.to_owned(), reuse_at_cycle_accurate(&e.rtl).expect("clock context"))
+            })
+            .collect(),
+        Level::TlmAt => {
+            let cfg = design.config();
+            suite
+                .iter()
+                .filter_map(|e| {
+                    abstract_property(&e.rtl, &cfg)
+                        .expect("suite abstracts")
+                        .into_property()
+                        .map(|q| (e.name.to_owned(), q))
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runs one measured simulation: `design` at `level` with the first
+/// `n_checkers` properties installed, over a workload of `size` requests.
+///
+/// # Panics
+///
+/// Panics if checker installation fails (the suites are always
+/// installable at their levels).
+#[must_use]
+pub fn run(design: Design, level: Level, n_checkers: usize, size: usize, seed: u64) -> RunResult {
+    let props: Vec<(String, ClockedProperty)> =
+        properties_for_level(design, level).into_iter().take(n_checkers).collect();
+    match design {
+        Design::Des56 => {
+            let w = des56::DesWorkload::mixed(size, seed);
+            match level {
+                Level::Rtl => {
+                    let mut built = des56::build_rtl(&w, des56::DesMutation::None);
+                    let hosts =
+                        install_clock_checkers(&mut built.sim, built.clk.signal, &props)
+                            .expect("installs");
+                    let start = Instant::now();
+                    let stats = built.run();
+                    let wall = start.elapsed();
+                    let report = collect_clock_reports(&mut built.sim, &hosts, built.end_ns);
+                    RunResult { wall, stats, report }
+                }
+                Level::TlmCa => {
+                    let mut built = des56::build_tlm_ca(&w, des56::DesMutation::None);
+                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+                        .expect("installs");
+                    let start = Instant::now();
+                    let stats = built.run();
+                    let wall = start.elapsed();
+                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+                    RunResult { wall, stats, report }
+                }
+                Level::TlmAt => {
+                    let mut built = des56::build_tlm_at(
+                        &w,
+                        des56::DesMutation::None,
+                        CodingStyle::ApproximatelyTimedLoose,
+                    );
+                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+                        .expect("installs");
+                    let start = Instant::now();
+                    let stats = built.run();
+                    let wall = start.elapsed();
+                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+                    RunResult { wall, stats, report }
+                }
+            }
+        }
+        Design::ColorConv => {
+            let w = colorconv::ConvWorkload::mixed(size, seed);
+            match level {
+                Level::Rtl => {
+                    let mut built = colorconv::build_rtl(&w, colorconv::ConvMutation::None);
+                    let hosts =
+                        install_clock_checkers(&mut built.sim, built.clk.signal, &props)
+                            .expect("installs");
+                    let start = Instant::now();
+                    let stats = built.run();
+                    let wall = start.elapsed();
+                    let report = collect_clock_reports(&mut built.sim, &hosts, built.end_ns);
+                    RunResult { wall, stats, report }
+                }
+                Level::TlmCa => {
+                    let mut built = colorconv::build_tlm_ca(&w, colorconv::ConvMutation::None);
+                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+                        .expect("installs");
+                    let start = Instant::now();
+                    let stats = built.run();
+                    let wall = start.elapsed();
+                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+                    RunResult { wall, stats, report }
+                }
+                Level::TlmAt => {
+                    let mut built = colorconv::build_tlm_at(
+                        &w,
+                        colorconv::ConvMutation::None,
+                        CodingStyle::ApproximatelyTimedLoose,
+                    );
+                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+                        .expect("installs");
+                    let start = Instant::now();
+                    let stats = built.run();
+                    let wall = start.elapsed();
+                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+                    RunResult { wall, stats, report }
+                }
+            }
+        }
+    }
+}
+
+/// Runs `reps` repetitions and returns the run with the fastest wall time
+/// (the usual noise-robust estimator for a deterministic single-threaded
+/// loop).
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+#[must_use]
+pub fn run_best_of(
+    design: Design,
+    level: Level,
+    n_checkers: usize,
+    size: usize,
+    reps: usize,
+) -> RunResult {
+    assert!(reps >= 1, "at least one repetition");
+    let mut best: Option<RunResult> = None;
+    for rep in 0..reps {
+        let result = run(design, level, n_checkers, size, 0xBEEF + rep as u64);
+        best = match best {
+            Some(b) if b.wall <= result.wall => Some(b),
+            _ => Some(result),
+        };
+    }
+    best.expect("reps >= 1")
+}
+
+/// Workload size used by the table/fig binaries, overridable via the
+/// `ABV_BENCH_SIZE` environment variable.
+#[must_use]
+pub fn default_size() -> usize {
+    std::env::var("ABV_BENCH_SIZE").ok().and_then(|s| s.parse().ok()).unwrap_or(3000)
+}
+
+/// Repetitions used by the table/fig binaries, overridable via
+/// `ABV_BENCH_REPS`.
+#[must_use]
+pub fn default_reps() -> usize {
+    std::env::var("ABV_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+}
+
+/// Percentage overhead of `with` over `base`.
+#[must_use]
+pub fn overhead_pct(base: Duration, with: Duration) -> f64 {
+    (with.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_per_level_counts() {
+        assert_eq!(properties_for_level(Design::Des56, Level::Rtl).len(), 9);
+        assert_eq!(properties_for_level(Design::Des56, Level::TlmCa).len(), 9);
+        // p8 is deleted by the abstraction.
+        assert_eq!(properties_for_level(Design::Des56, Level::TlmAt).len(), 8);
+        assert_eq!(properties_for_level(Design::ColorConv, Level::TlmAt).len(), 12);
+    }
+
+    #[test]
+    fn run_produces_activity_and_reports() {
+        let r = run(Design::Des56, Level::Rtl, 2, 4, 1);
+        assert!(r.stats.events_processed > 0);
+        assert_eq!(r.report.properties.len(), 2);
+        let r = run(Design::ColorConv, Level::TlmAt, 3, 4, 1);
+        assert_eq!(r.report.properties.len(), 3);
+    }
+
+    #[test]
+    fn tlm_at_runs_far_fewer_events_than_rtl() {
+        let rtl = run(Design::Des56, Level::Rtl, 0, 20, 2);
+        let at = run(Design::Des56, Level::TlmAt, 0, 20, 2);
+        assert!(
+            at.stats.events_processed * 10 < rtl.stats.events_processed,
+            "AT {} vs RTL {}",
+            at.stats.events_processed,
+            rtl.stats.events_processed
+        );
+    }
+
+    #[test]
+    fn all_checkers_pass_at_each_level() {
+        for design in [Design::Des56, Design::ColorConv] {
+            for level in [Level::Rtl, Level::TlmCa] {
+                let n = properties_for_level(design, level).len();
+                let r = run(design, level, n, 6, 3);
+                assert!(r.report.all_pass(), "{} {}: {}", design.label(), level.label(), r.report);
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_pct_math() {
+        let base = Duration::from_millis(100);
+        let with = Duration::from_millis(163);
+        assert!((overhead_pct(base, with) - 63.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,444 @@
+//! Checker hosts: the components that feed evaluation events to a
+//! [`PropertyChecker`].
+
+use desim::{Component, ComponentId, Event, SimCtx, SignalId, Simulation};
+use psl::{ClockedProperty, ClockEdge};
+use tlmkit::TransactionBus;
+
+use crate::compile::{compile, CompileError};
+use crate::monitor::PropertyChecker;
+use crate::report::{CheckReport, PropertyReport};
+
+const KIND_CLK: u64 = 0;
+const KIND_SAMPLE: u64 = 1;
+const KIND_TX: u64 = 2;
+
+/// Drives a checker at clock edges — the RTL verification host, also used
+/// for unabstracted properties on cycle-accurate models.
+///
+/// The host implements the postponed sampling discipline: woken by a clock
+/// change on the matching edge, it re-schedules itself one delta later so
+/// the checker observes the values committed by the design at that edge.
+pub struct ClockCheckerHost {
+    checker: PropertyChecker,
+    clk: SignalId,
+    edge: ClockEdge,
+    last_clk: u64,
+}
+
+impl ClockCheckerHost {
+    /// Compiles `property` and installs a host sampling at the edges of
+    /// `clk` required by the property's clock context.
+    ///
+    /// # Errors
+    ///
+    /// - [`CompileError`] from checker synthesis;
+    /// - a property with a transaction context is rejected (use
+    ///   [`TxCheckerHost`]).
+    pub fn install(
+        sim: &mut Simulation,
+        clk: SignalId,
+        name: &str,
+        property: &ClockedProperty,
+    ) -> Result<ComponentId, InstallError> {
+        let (checker, edge) = compile(name, property, sim)?;
+        let edge = edge.ok_or(InstallError::WrongContext)?;
+        let host = ClockCheckerHost { checker, clk, edge, last_clk: 0 };
+        let id = sim.add_component(host);
+        sim.subscribe(clk, id, KIND_CLK);
+        Ok(id)
+    }
+
+    /// Finalizes the checker at simulation end `end_ns` and returns the
+    /// definitive report.
+    pub fn finalize(&mut self, end_ns: u64) -> PropertyReport {
+        self.checker.finish(end_ns);
+        self.checker.report()
+    }
+
+    /// The wrapped checker (for inspection in tests).
+    #[must_use]
+    pub fn checker(&self) -> &PropertyChecker {
+        &self.checker
+    }
+
+    /// Mutable access to the wrapped checker (e.g. to disable the
+    /// evaluation-table optimization for ablation runs).
+    pub fn checker_mut(&mut self) -> &mut PropertyChecker {
+        &mut self.checker
+    }
+}
+
+impl Component for ClockCheckerHost {
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+        match ev.kind {
+            KIND_CLK => {
+                let v = ctx.read(self.clk);
+                let matched = match self.edge {
+                    ClockEdge::Pos => self.last_clk == 0 && v != 0,
+                    ClockEdge::Neg => self.last_clk != 0 && v == 0,
+                    ClockEdge::Any | ClockEdge::True => v != self.last_clk,
+                };
+                self.last_clk = v;
+                if matched {
+                    ctx.schedule_self(0, KIND_SAMPLE);
+                }
+            }
+            KIND_SAMPLE => {
+                let now = ev.time.as_ns();
+                let checker = &mut self.checker;
+                checker.on_event(&|sig| ctx.read(sig), now);
+            }
+            other => unreachable!("unknown host event kind {other}"),
+        }
+    }
+}
+
+/// The paper's TLM **wrapper** (Section IV): drives a checker at
+/// transaction ends observed on a [`TransactionBus`].
+///
+/// Instance pooling, the evaluation table, deadline failures and
+/// reset/reuse live in [`PropertyChecker`]; the wrapper is its transaction
+/// front-end.
+pub struct TxCheckerHost {
+    checker: PropertyChecker,
+}
+
+impl TxCheckerHost {
+    /// Compiles `property` and installs a wrapper observing `bus`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CompileError`] from checker synthesis;
+    /// - a property with a clock context is rejected (abstract it first,
+    ///   then install; or use [`ClockCheckerHost`]).
+    pub fn install(
+        sim: &mut Simulation,
+        bus: &TransactionBus,
+        name: &str,
+        property: &ClockedProperty,
+    ) -> Result<ComponentId, InstallError> {
+        let (checker, edge) = compile(name, property, sim)?;
+        if edge.is_some() {
+            return Err(InstallError::WrongContext);
+        }
+        let id = sim.add_component(TxCheckerHost { checker });
+        bus.subscribe(id, KIND_TX);
+        Ok(id)
+    }
+
+    /// Finalizes the checker at simulation end `end_ns` and returns the
+    /// definitive report.
+    pub fn finalize(&mut self, end_ns: u64) -> PropertyReport {
+        self.checker.finish(end_ns);
+        self.checker.report()
+    }
+
+    /// The wrapped checker (for inspection in tests).
+    #[must_use]
+    pub fn checker(&self) -> &PropertyChecker {
+        &self.checker
+    }
+
+    /// Mutable access to the wrapped checker (e.g. to disable the
+    /// evaluation-table optimization for ablation runs).
+    pub fn checker_mut(&mut self) -> &mut PropertyChecker {
+        &mut self.checker
+    }
+}
+
+impl Component for TxCheckerHost {
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+        match ev.kind {
+            // Two-phase wake, mirroring the clocked checker processes the
+            // generator produces: the transaction notification re-schedules
+            // a sampling delta so the checker observes the model's
+            // committed post-transaction state.
+            KIND_TX => ctx.schedule_self(0, KIND_SAMPLE),
+            KIND_SAMPLE => {
+                let now = ev.time.as_ns();
+                let checker = &mut self.checker;
+                checker.on_event(&|sig| ctx.read(sig), now);
+            }
+            other => unreachable!("unknown host event kind {other}"),
+        }
+    }
+}
+
+/// Errors from host installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// Checker synthesis failed.
+    Compile(CompileError),
+    /// Clock-context property given to the transaction host or vice versa.
+    WrongContext,
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::Compile(e) => write!(f, "{e}"),
+            InstallError::WrongContext => {
+                f.write_str("property context does not match the host kind")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InstallError::Compile(e) => Some(e),
+            InstallError::WrongContext => None,
+        }
+    }
+}
+
+impl From<CompileError> for InstallError {
+    fn from(e: CompileError) -> InstallError {
+        InstallError::Compile(e)
+    }
+}
+
+/// Installs one [`ClockCheckerHost`] per property and returns their ids.
+///
+/// # Errors
+///
+/// Fails on the first property that cannot be installed, reporting its
+/// index.
+pub fn install_clock_checkers(
+    sim: &mut Simulation,
+    clk: SignalId,
+    properties: &[(String, ClockedProperty)],
+) -> Result<Vec<ComponentId>, (usize, InstallError)> {
+    properties
+        .iter()
+        .enumerate()
+        .map(|(i, (name, p))| ClockCheckerHost::install(sim, clk, name, p).map_err(|e| (i, e)))
+        .collect()
+}
+
+/// Installs one [`TxCheckerHost`] per property and returns their ids.
+///
+/// # Errors
+///
+/// Fails on the first property that cannot be installed, reporting its
+/// index.
+pub fn install_tx_checkers(
+    sim: &mut Simulation,
+    bus: &TransactionBus,
+    properties: &[(String, ClockedProperty)],
+) -> Result<Vec<ComponentId>, (usize, InstallError)> {
+    properties
+        .iter()
+        .enumerate()
+        .map(|(i, (name, p))| TxCheckerHost::install(sim, bus, name, p).map_err(|e| (i, e)))
+        .collect()
+}
+
+/// Finalizes clock-checker hosts and collects their reports.
+///
+/// # Panics
+///
+/// Panics if an id does not refer to a [`ClockCheckerHost`] of `sim`.
+pub fn collect_clock_reports(
+    sim: &mut Simulation,
+    hosts: &[ComponentId],
+    end_ns: u64,
+) -> CheckReport {
+    hosts
+        .iter()
+        .map(|&id| {
+            sim.component_mut::<ClockCheckerHost>(id)
+                .expect("id must refer to a ClockCheckerHost")
+                .finalize(end_ns)
+        })
+        .collect()
+}
+
+/// Finalizes transaction-checker hosts and collects their reports.
+///
+/// # Panics
+///
+/// Panics if an id does not refer to a [`TxCheckerHost`] of `sim`.
+pub fn collect_tx_reports(
+    sim: &mut Simulation,
+    hosts: &[ComponentId],
+    end_ns: u64,
+) -> CheckReport {
+    hosts
+        .iter()
+        .map(|&id| {
+            sim.component_mut::<TxCheckerHost>(id)
+                .expect("id must refer to a TxCheckerHost")
+                .finalize(end_ns)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimTime;
+    use rtlkit::{Clock, EdgeDetector};
+    use tlmkit::Transaction;
+
+    /// Pulses `ds` at a chosen edge index and `rdy` 17 edges later.
+    struct PulseDut {
+        clk: SignalId,
+        ds: SignalId,
+        rdy: SignalId,
+        det: EdgeDetector,
+        edge_count: u64,
+        fire_edge: u64,
+        latency: u64,
+    }
+
+    impl Component for PulseDut {
+        fn handle(&mut self, _ev: Event, ctx: &mut SimCtx<'_>) {
+            let v = ctx.read(self.clk);
+            if !self.det.is_rising(v) {
+                return;
+            }
+            self.edge_count += 1;
+            ctx.write(self.ds, u64::from(self.edge_count == self.fire_edge));
+            ctx.write(
+                self.rdy,
+                u64::from(self.edge_count == self.fire_edge + self.latency),
+            );
+        }
+    }
+
+    fn pulse_sim(fire_edge: u64, latency: u64) -> (Simulation, SignalId) {
+        let mut sim = Simulation::new();
+        let clk = Clock::install(&mut sim, "clk", 10);
+        let ds = sim.add_signal("ds", 0);
+        let rdy = sim.add_signal("rdy", 0);
+        let dut = sim.add_component(PulseDut {
+            clk: clk.signal,
+            ds,
+            rdy,
+            det: EdgeDetector::new(),
+            edge_count: 0,
+            fire_edge,
+            latency,
+        });
+        sim.subscribe(clk.signal, dut, 0);
+        (sim, clk.signal)
+    }
+
+    #[test]
+    fn rtl_checker_passes_correct_latency() {
+        let (mut sim, clk) = pulse_sim(3, 17);
+        let p: ClockedProperty = "always (!ds || next[17] rdy) @clk_pos".parse().unwrap();
+        let host = ClockCheckerHost::install(&mut sim, clk, "p4", &p).unwrap();
+        sim.run_until(SimTime::from_ns(400));
+        let report =
+            sim.component_mut::<ClockCheckerHost>(host).unwrap().finalize(400);
+        assert_eq!(report.failure_count, 0, "{report}");
+        assert_eq!(report.completions, 1);
+        assert!(report.activations >= 30);
+    }
+
+    #[test]
+    fn rtl_checker_catches_wrong_latency() {
+        let (mut sim, clk) = pulse_sim(3, 16); // one cycle early
+        let p: ClockedProperty = "always (!ds || next[17] rdy) @clk_pos".parse().unwrap();
+        let host = ClockCheckerHost::install(&mut sim, clk, "p4", &p).unwrap();
+        sim.run_until(SimTime::from_ns(400));
+        let report =
+            sim.component_mut::<ClockCheckerHost>(host).unwrap().finalize(400);
+        assert_eq!(report.failure_count, 1, "{report}");
+    }
+
+    #[test]
+    fn clock_host_rejects_transaction_context() {
+        let (mut sim, clk) = pulse_sim(3, 17);
+        let p: ClockedProperty = "always rdy @T_b".parse().unwrap();
+        let err = ClockCheckerHost::install(&mut sim, clk, "p", &p).unwrap_err();
+        assert_eq!(err, InstallError::WrongContext);
+    }
+
+    /// Publishes a write at 10ns (ds=1) and a read at 180ns (rdy=1).
+    struct AtModel {
+        bus: TransactionBus,
+        ds: SignalId,
+        rdy: SignalId,
+    }
+
+    impl Component for AtModel {
+        fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+            match ev.kind {
+                0 => {
+                    ctx.write(self.ds, 1);
+                    ctx.write(self.rdy, 0);
+                    self.bus.publish(ctx, Transaction::write(0, 0, ev.time));
+                    ctx.schedule_self(170, 1);
+                }
+                _ => {
+                    ctx.write(self.ds, 0);
+                    ctx.write(self.rdy, 1);
+                    self.bus.publish(ctx, Transaction::read(0, 0, ev.time));
+                }
+            }
+        }
+    }
+
+    fn at_sim() -> (Simulation, TransactionBus) {
+        let mut sim = Simulation::new();
+        let bus = TransactionBus::new();
+        let ds = sim.add_signal("ds", 0);
+        let rdy = sim.add_signal("rdy", 0);
+        let model = sim.add_component(AtModel { bus: bus.clone(), ds, rdy });
+        sim.schedule(SimTime::from_ns(10), model, 0);
+        (sim, bus)
+    }
+
+    #[test]
+    fn tlm_wrapper_passes_q3_on_at_model() {
+        let (mut sim, bus) = at_sim();
+        let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b".parse().unwrap();
+        let host = TxCheckerHost::install(&mut sim, &bus, "q3", &q3).unwrap();
+        sim.run_to_completion();
+        let report = sim.component_mut::<TxCheckerHost>(host).unwrap().finalize(200);
+        assert_eq!(report.failure_count, 0, "{report}");
+        assert_eq!(report.completions, 1);
+        assert_eq!(report.activations, 2);
+        assert_eq!(report.vacuous, 1, "the read transaction has ds=0");
+    }
+
+    #[test]
+    fn tlm_wrapper_fails_q2_on_sparse_at_model() {
+        // q2 references t_fire+10, where the loose AT model has no event
+        // (DESIGN.md §5b): strict Def. III.3 semantics must fail it.
+        let (mut sim, bus) = at_sim();
+        let q2: ClockedProperty =
+            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b".parse().unwrap();
+        let host = TxCheckerHost::install(&mut sim, &bus, "q2", &q2).unwrap();
+        sim.run_to_completion();
+        let report = sim.component_mut::<TxCheckerHost>(host).unwrap().finalize(200);
+        assert!(report.failure_count >= 1, "{report}");
+    }
+
+    #[test]
+    fn tx_host_rejects_clock_context() {
+        let (mut sim, bus) = at_sim();
+        let p: ClockedProperty = "always rdy @clk_pos".parse().unwrap();
+        let err = TxCheckerHost::install(&mut sim, &bus, "p", &p).unwrap_err();
+        assert_eq!(err, InstallError::WrongContext);
+    }
+
+    #[test]
+    fn batch_install_reports_index() {
+        let (mut sim, bus) = at_sim();
+        let good: ClockedProperty = "always rdy @T_b".parse().unwrap();
+        let bad: ClockedProperty = "always ghost @T_b".parse().unwrap();
+        let err = install_tx_checkers(
+            &mut sim,
+            &bus,
+            &[("good".into(), good), ("bad".into(), bad)],
+        )
+        .unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+}

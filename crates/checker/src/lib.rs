@@ -1,0 +1,43 @@
+//! `abv-checker` — checker synthesis and hosting for dynamic
+//! assertion-based verification (Section IV of the paper).
+//!
+//! A [`PropertyChecker`] is synthesized from a [`psl::ClockedProperty`]:
+//! the property is normalized (NNF), its atoms are resolved against the
+//! simulation's signals, and the resulting monitor is evaluated by
+//! *formula progression* — each evaluation event rewrites the outstanding
+//! obligation into the obligation that must hold from the next event on.
+//! `next_ε^τ` obligations anchor to an **absolute deadline** when reached:
+//! events before the deadline are ignored, an event at the deadline
+//! evaluates the operand, and an event past an unconsumed deadline raises a
+//! failure — exactly the wrapper behaviour of Section IV.
+//!
+//! Two hosts drive checkers:
+//!
+//! - [`ClockCheckerHost`]: samples at clock edges (RTL verification, and
+//!   the unabstracted-property case);
+//! - [`TxCheckerHost`]: the paper's TLM **wrapper** — it observes a
+//!   [`tlmkit::TransactionBus`], maintains the checker-instance pool and
+//!   the evaluation table, fails instances whose expected evaluation time
+//!   passed without a transaction, resets/reuses completed instances, and
+//!   activates a new instance at every transaction matching the
+//!   transaction context (Section IV, points 1–4).
+//!
+//! On `ε` anchoring: Def. III.3 phrases `ε` relative to "the firing of the
+//! property"; for the nested occurrences produced by Algorithm III.1 inside
+//! `until`/`release` iterations, the only coherent generalization (and the
+//! one the finite-trace oracle in [`psl::trace`] uses) anchors `ε` at the
+//! instant the operator is *reached* during evaluation — the two coincide
+//! for top-level occurrences such as the paper's `q1`/`q3`.
+
+mod compile;
+mod host;
+mod monitor;
+mod report;
+
+pub use compile::{compile, CompileError};
+pub use host::{
+    collect_clock_reports, collect_tx_reports, install_clock_checkers, install_tx_checkers,
+    ClockCheckerHost, InstallError, TxCheckerHost,
+};
+pub use monitor::{PropertyChecker, WakePlan};
+pub use report::{CheckReport, FailReason, Failure, PropertyReport, Verdict, MAX_RECORDED_FAILURES};

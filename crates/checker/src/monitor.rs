@@ -1,0 +1,758 @@
+//! The monitor core: compiled formulas, progression, instance pool and
+//! evaluation table.
+//!
+//! A compiled property is evaluated per *instance*. Each instance holds a
+//! residual obligation (an [`Mx`] tree); every evaluation event progresses
+//! the residual into the obligation that must hold from the next event on.
+//! Residuals that reduce to `true` complete, `false` fail.
+//!
+//! Instances whose residual consists solely of absolute-deadline
+//! obligations (`At` nodes, produced by `next_ε^τ`) are parked in an
+//! **evaluation table** keyed by deadline and are only touched when an
+//! event reaches (or overshoots) a deadline — the paper's wrapper
+//! optimization (Section IV, point 2). All other residuals must observe
+//! every event.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use desim::SignalId;
+use psl::CmpOp;
+
+use crate::report::{FailReason, Failure, PropertyReport};
+
+/// Shared monitor-formula node.
+pub(crate) type M = Rc<Mx>;
+
+/// A resolved literal: a signal test, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Lit {
+    pub sig: SignalId,
+    pub name: Rc<str>,
+    pub test: LitTest,
+    pub negated: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LitTest {
+    /// Boolean signal: true iff non-zero.
+    Bool,
+    /// Comparison against a constant.
+    Cmp(CmpOp, u64),
+}
+
+impl Lit {
+    pub(crate) fn eval(&self, read: &dyn Fn(SignalId) -> u64) -> bool {
+        let raw = read(self.sig);
+        let v = match self.test {
+            LitTest::Bool => raw != 0,
+            LitTest::Cmp(op, rhs) => op.apply(raw, rhs),
+        };
+        v != self.negated
+    }
+}
+
+/// Monitor formulas: the compiled, signal-resolved form of properties,
+/// extended with the anchored-deadline node `At` that `next_ε^τ` becomes
+/// once reached.
+#[derive(Debug, PartialEq)]
+pub(crate) enum Mx {
+    True,
+    False,
+    Lit(Lit),
+    And(M, M),
+    Or(M, M),
+    /// `next[n]`: operand holds `n` evaluation events ahead.
+    NextN(u32, M),
+    /// `next_ε^τ`, not yet reached: anchors to `now + eps` when progressed.
+    NextEt { eps_ns: u64, inner: M },
+    /// An anchored obligation: operand must be evaluated at the event at
+    /// exactly `deadline_ns`; an event past the deadline fails it.
+    At { deadline_ns: u64, inner: M },
+    Until(M, M),
+    Release(M, M),
+    Always(M),
+    Eventually(M),
+}
+
+thread_local! {
+    static M_TRUE: M = Rc::new(Mx::True);
+    static M_FALSE: M = Rc::new(Mx::False);
+}
+
+pub(crate) fn m_true() -> M {
+    M_TRUE.with(Rc::clone)
+}
+
+pub(crate) fn m_false() -> M {
+    M_FALSE.with(Rc::clone)
+}
+
+fn m_bool(b: bool) -> M {
+    if b {
+        m_true()
+    } else {
+        m_false()
+    }
+}
+
+/// `a && b` with constant absorption.
+pub(crate) fn m_and(a: M, b: M) -> M {
+    match (&*a, &*b) {
+        (Mx::False, _) | (_, Mx::False) => m_false(),
+        (Mx::True, _) => b,
+        (_, Mx::True) => a,
+        _ => Rc::new(Mx::And(a, b)),
+    }
+}
+
+/// `a || b` with constant absorption.
+pub(crate) fn m_or(a: M, b: M) -> M {
+    match (&*a, &*b) {
+        (Mx::True, _) | (_, Mx::True) => m_true(),
+        (Mx::False, _) => b,
+        (_, Mx::False) => a,
+        _ => Rc::new(Mx::Or(a, b)),
+    }
+}
+
+/// Progresses `m` through the evaluation event at `now`: the result is the
+/// obligation that must hold from the *next* evaluation event on.
+pub(crate) fn progress(m: &M, read: &dyn Fn(SignalId) -> u64, now: u64) -> M {
+    match &**m {
+        Mx::True | Mx::False => Rc::clone(m),
+        Mx::Lit(lit) => m_bool(lit.eval(read)),
+        Mx::And(a, b) => {
+            let pa = progress(a, read, now);
+            if matches!(*pa, Mx::False) {
+                return m_false();
+            }
+            m_and(pa, progress(b, read, now))
+        }
+        Mx::Or(a, b) => {
+            let pa = progress(a, read, now);
+            if matches!(*pa, Mx::True) {
+                return m_true();
+            }
+            m_or(pa, progress(b, read, now))
+        }
+        Mx::NextN(1, inner) => Rc::clone(inner),
+        Mx::NextN(n, inner) => Rc::new(Mx::NextN(n - 1, Rc::clone(inner))),
+        Mx::NextEt { eps_ns, inner } => {
+            Rc::new(Mx::At { deadline_ns: now + eps_ns, inner: Rc::clone(inner) })
+        }
+        Mx::At { deadline_ns, inner } => {
+            if now < *deadline_ns {
+                Rc::clone(m) // event not consumed by this obligation
+            } else if now == *deadline_ns {
+                progress(inner, read, now)
+            } else {
+                m_false() // deadline passed without an observable event
+            }
+        }
+        // φ U ψ  ≡  ψ ∨ (φ ∧ X(φ U ψ))
+        Mx::Until(a, b) => {
+            let pb = progress(b, read, now);
+            if matches!(*pb, Mx::True) {
+                return m_true();
+            }
+            let pa = progress(a, read, now);
+            m_or(pb, m_and(pa, Rc::clone(m)))
+        }
+        // φ R ψ  ≡  ψ ∧ (φ ∨ X(φ R ψ))
+        Mx::Release(a, b) => {
+            let pb = progress(b, read, now);
+            if matches!(*pb, Mx::False) {
+                return m_false();
+            }
+            let pa = progress(a, read, now);
+            m_and(pb, m_or(pa, Rc::clone(m)))
+        }
+        Mx::Always(a) => m_and(progress(a, read, now), Rc::clone(m)),
+        Mx::Eventually(a) => m_or(progress(a, read, now), Rc::clone(m)),
+    }
+}
+
+/// When an instance's residual next needs to observe an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakePlan {
+    /// The residual must be progressed at every evaluation event.
+    EveryEvent,
+    /// The residual consists solely of anchored deadlines; the earliest is
+    /// at this absolute time (nanoseconds).
+    AtTime(u64),
+}
+
+/// Computes the wake plan of a (non-constant) residual.
+pub(crate) fn wake_plan(m: &M) -> WakePlan {
+    fn earliest(m: &M) -> Option<u64> {
+        match &**m {
+            Mx::At { deadline_ns, .. } => Some(*deadline_ns),
+            Mx::And(a, b) | Mx::Or(a, b) => {
+                let (ea, eb) = (earliest(a)?, earliest(b)?);
+                Some(ea.min(eb))
+            }
+            // True/False below And/Or are absorbed by the constructors, and
+            // a bare constant residual never reaches wake_plan.
+            _ => None,
+        }
+    }
+    match earliest(m) {
+        Some(d) => WakePlan::AtTime(d),
+        None => WakePlan::EveryEvent,
+    }
+}
+
+/// Three-valued end-of-simulation evaluation of a residual: anchored
+/// obligations with deadlines at or before `end` are false (their instant
+/// passed without an observable event), later ones and event-counting
+/// obligations are unknown.
+fn finish_eval(m: &M, end: u64) -> Option<bool> {
+    match &**m {
+        Mx::True => Some(true),
+        Mx::False => Some(false),
+        Mx::At { deadline_ns, .. } if *deadline_ns <= end => Some(false),
+        Mx::And(a, b) => match (finish_eval(a, end), finish_eval(b, end)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Mx::Or(a, b) => match (finish_eval(a, end), finish_eval(b, end)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The earliest missed deadline contributing to a false finish verdict.
+fn earliest_missed(m: &M, end: u64) -> Option<u64> {
+    let mut earliest: Option<u64> = None;
+    fn walk(m: &M, end: u64, earliest: &mut Option<u64>) {
+        match &**m {
+            Mx::At { deadline_ns, .. } if *deadline_ns <= end => {
+                *earliest = Some(earliest.map_or(*deadline_ns, |e| e.min(*deadline_ns)));
+            }
+            Mx::And(a, b) | Mx::Or(a, b) => {
+                walk(a, end, earliest);
+                walk(b, end, earliest);
+            }
+            _ => {}
+        }
+    }
+    walk(m, end, &mut earliest);
+    earliest
+}
+
+/// One running verification session of a property.
+#[derive(Debug)]
+struct Instance {
+    residual: M,
+    fire_ns: u64,
+}
+
+/// A synthesized checker for one property: monitor body, activation
+/// policy, guard, instance pool and evaluation table.
+///
+/// Built by [`compile`](crate::compile); driven by a host
+/// ([`ClockCheckerHost`](crate::ClockCheckerHost) or
+/// [`TxCheckerHost`](crate::TxCheckerHost)) which calls
+/// [`on_event`](PropertyChecker::on_event) at each evaluation point.
+#[derive(Debug)]
+pub struct PropertyChecker {
+    name: String,
+    body: M,
+    /// True for `always φ`: a new instance activates at every evaluation
+    /// point (Section IV, point 4). False: a single activation at the first
+    /// evaluation point.
+    repeating: bool,
+    guard: Option<M>,
+    fired_once: bool,
+    pool: Vec<Option<Instance>>,
+    free: Vec<usize>,
+    table: BTreeMap<u64, Vec<usize>>,
+    every: Vec<usize>,
+    use_table: bool,
+    completion_bound_ns: Option<u64>,
+    report: PropertyReport,
+}
+
+impl PropertyChecker {
+    pub(crate) fn new(name: String, body: M, repeating: bool, guard: Option<M>) -> PropertyChecker {
+        PropertyChecker {
+            report: PropertyReport::new(name.clone()),
+            name,
+            body,
+            repeating,
+            guard,
+            fired_once: false,
+            pool: Vec::new(),
+            free: Vec::new(),
+            table: BTreeMap::new(),
+            every: Vec::new(),
+            use_table: true,
+            completion_bound_ns: None,
+        }
+    }
+
+    /// Records the property's completion bound (`t_end - t_fire`), when it
+    /// is statically bounded. Set by checker synthesis.
+    pub(crate) fn set_completion_bound_ns(&mut self, bound: Option<u64>) {
+        self.completion_bound_ns = bound;
+    }
+
+    /// The paper's static size bound for the checker-instance array
+    /// (Section IV, point 1): the maximum number of instants where
+    /// transactions can occur within `(t_fire, t_end]`, assuming instants
+    /// are aligned to `clock_period_ns` — e.g. 17 for `q3` with a 10 ns
+    /// reference clock. `None` when the property is unbounded (`until`,
+    /// `release`, un-timed `next`).
+    ///
+    /// The live implementation grows its pool dynamically;
+    /// [`PropertyReport::max_live_instances`] can be compared against this
+    /// bound (see the Fig. 5 tests).
+    #[must_use]
+    pub fn lifetime_bound(&self, clock_period_ns: u64) -> Option<usize> {
+        assert!(clock_period_ns > 0, "clock period must be positive");
+        self.completion_bound_ns.map(|b| (b / clock_period_ns) as usize)
+    }
+
+    /// Disables the evaluation-table optimization: every instance is
+    /// progressed at every evaluation event, even when its residual only
+    /// waits for an absolute deadline. Semantics are unchanged (anchored
+    /// obligations ignore pre-deadline events); only the amount of work
+    /// differs. Used by the ablation benchmarks.
+    pub fn disable_evaluation_table(&mut self) {
+        self.use_table = false;
+    }
+
+    /// The property's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of currently live instances.
+    #[must_use]
+    pub fn live_instances(&self) -> usize {
+        self.pool.len() - self.free.len()
+    }
+
+    /// Processes one evaluation event at `now` nanoseconds.
+    ///
+    /// Performs, in order: guard filtering, failure of instances whose
+    /// deadline passed, progression of due and every-event instances, and
+    /// activation of a new instance.
+    pub fn on_event(&mut self, read: &dyn Fn(SignalId) -> u64, now: u64) {
+        // Events not matching the context guard are invisible to this
+        // property (Def. III.2).
+        if let Some(guard) = &self.guard {
+            let g = progress(guard, read, now);
+            if !matches!(*g, Mx::True) {
+                return;
+            }
+        }
+
+        // Snapshot the every-event list first: an instance progressed from
+        // the table below may re-register into it, and no instance may be
+        // progressed twice within one event.
+        let every = std::mem::take(&mut self.every);
+
+        // 1+2. Instances whose earliest expected evaluation time is due or
+        //    overdue are progressed at this event. An overdue `At`
+        //    obligation resolves to false inside the progression, so a
+        //    residual that only waited for the missed instant fails
+        //    (Section IV, point 2), while a disjunction with a later
+        //    obligation survives and is re-registered.
+        while let Some((&deadline, _)) = self.table.first_key_value() {
+            if deadline > now {
+                break;
+            }
+            let slots = self.table.remove(&deadline).expect("key just observed");
+            let missed = (deadline < now).then_some(deadline);
+            for slot in slots {
+                self.step(slot, read, now, missed);
+            }
+        }
+
+        // 3. Instances that observe every event.
+        for slot in every {
+            self.step(slot, read, now, None);
+        }
+
+        // 4. Activation of a new verification session.
+        if self.repeating || !self.fired_once {
+            self.fired_once = true;
+            self.report.activations += 1;
+            let residual = progress(&self.body, read, now);
+            self.report.evaluations += 1;
+            match &*residual {
+                Mx::True => self.report.vacuous += 1,
+                Mx::False => {
+                    self.report
+                        .record_failure(Failure { fire_ns: now, fail_ns: now, reason: FailReason::Violated });
+                }
+                _ => {
+                    let slot = self.alloc(Instance { residual: Rc::clone(&residual), fire_ns: now });
+                    self.register(slot, &residual);
+                }
+            }
+        }
+    }
+
+    /// Finalizes at simulation end `end_ns`: anchored obligations whose
+    /// deadline lies at or before the end never saw an event (otherwise the
+    /// instance would have been progressed there) and resolve to false;
+    /// instances whose residual thereby becomes false are failures, ones
+    /// that become true complete, and everything still undetermined is
+    /// counted as pending.
+    pub fn finish(&mut self, end_ns: u64) {
+        let table = std::mem::take(&mut self.table);
+        let every = std::mem::take(&mut self.every);
+        for slot in table.into_values().flatten().chain(every) {
+            let residual = Rc::clone(&self.pool[slot].as_ref().expect("live slot").residual);
+            match finish_eval(&residual, end_ns) {
+                Some(false) => {
+                    let reason = match earliest_missed(&residual, end_ns) {
+                        Some(deadline_ns) => FailReason::MissedDeadline { deadline_ns },
+                        None => FailReason::Violated,
+                    };
+                    self.fail(slot, end_ns, reason);
+                }
+                Some(true) => {
+                    self.report.completions += 1;
+                    self.release(slot);
+                }
+                None => {
+                    self.report.pending += 1;
+                    self.release(slot);
+                }
+            }
+        }
+    }
+
+    /// A snapshot of the accumulated results.
+    #[must_use]
+    pub fn report(&self) -> PropertyReport {
+        let mut r = self.report.clone();
+        r.max_live_instances = r.max_live_instances.max(self.live_instances());
+        r
+    }
+
+    fn step(&mut self, slot: usize, read: &dyn Fn(SignalId) -> u64, now: u64, missed: Option<u64>) {
+        let instance = self.pool[slot].as_mut().expect("live slot");
+        let residual = progress(&instance.residual, read, now);
+        self.report.evaluations += 1;
+        match &*residual {
+            Mx::True => {
+                self.report.completions += 1;
+                self.release(slot);
+            }
+            Mx::False => {
+                let reason = match missed {
+                    Some(deadline_ns) => FailReason::MissedDeadline { deadline_ns },
+                    None => FailReason::Violated,
+                };
+                self.fail(slot, now, reason);
+            }
+            _ => {
+                instance.residual = Rc::clone(&residual);
+                self.register(slot, &residual);
+            }
+        }
+    }
+
+    fn register(&mut self, slot: usize, residual: &M) {
+        match wake_plan(residual) {
+            WakePlan::AtTime(deadline) if self.use_table => {
+                self.table.entry(deadline).or_default().push(slot);
+            }
+            _ => self.every.push(slot),
+        }
+    }
+
+    fn alloc(&mut self, instance: Instance) -> usize {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.pool[slot] = Some(instance);
+                slot
+            }
+            None => {
+                self.pool.push(Some(instance));
+                self.pool.len() - 1
+            }
+        };
+        self.report.max_live_instances = self.report.max_live_instances.max(self.live_instances());
+        slot
+    }
+
+    fn release(&mut self, slot: usize) {
+        self.pool[slot] = None;
+        self.free.push(slot);
+    }
+
+    fn fail(&mut self, slot: usize, now: u64, reason: FailReason) {
+        let fire_ns = self.pool[slot].as_ref().expect("live slot").fire_ns;
+        self.report.record_failure(Failure { fire_ns, fail_ns: now, reason });
+        self.release(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    fn lit(sig: usize, name: &str) -> M {
+        Rc::new(Mx::Lit(Lit {
+            sig: test_sig(sig),
+            name: name.into(),
+            test: LitTest::Bool,
+            negated: false,
+        }))
+    }
+
+    fn nlit(sig: usize, name: &str) -> M {
+        Rc::new(Mx::Lit(Lit {
+            sig: test_sig(sig),
+            name: name.into(),
+            test: LitTest::Bool,
+            negated: true,
+        }))
+    }
+
+    fn test_sig(n: usize) -> SignalId {
+        // SignalId construction for tests: round-trip through a Simulation.
+        thread_local! {
+            static IDS: RefCell<Vec<SignalId>> = const { RefCell::new(Vec::new()) };
+            static SIM: RefCell<desim::Simulation> = RefCell::new(desim::Simulation::new());
+        }
+        IDS.with(|ids| {
+            let mut ids = ids.borrow_mut();
+            while ids.len() <= n {
+                let next = ids.len();
+                let id = SIM.with(|sim| sim.borrow_mut().add_signal(&format!("s{next}"), 0));
+                ids.push(id);
+            }
+            ids[n]
+        })
+    }
+
+    fn env(pairs: &[(usize, u64)]) -> impl Fn(SignalId) -> u64 + '_ {
+        let map: HashMap<SignalId, u64> = pairs.iter().map(|&(s, v)| (test_sig(s), v)).collect();
+        move |s| map.get(&s).copied().unwrap_or(0)
+    }
+
+    #[test]
+    fn constant_absorption() {
+        assert!(matches!(*m_and(m_true(), m_false()), Mx::False));
+        assert!(matches!(*m_or(m_true(), m_false()), Mx::True));
+        let a = lit(0, "a");
+        assert_eq!(m_and(m_true(), Rc::clone(&a)), a);
+        assert_eq!(m_or(m_false(), Rc::clone(&a)), a);
+    }
+
+    #[test]
+    fn progress_literals_and_booleans() {
+        let a = lit(0, "a");
+        let b = nlit(1, "b");
+        let read = env(&[(0, 1), (1, 0)]);
+        assert!(matches!(*progress(&a, &read, 10), Mx::True));
+        assert!(matches!(*progress(&b, &read, 10), Mx::True));
+        let both = m_and(a, b);
+        assert!(matches!(*progress(&both, &read, 10), Mx::True));
+    }
+
+    #[test]
+    fn progress_next_n_counts_events() {
+        let f = Rc::new(Mx::NextN(3, lit(0, "a")));
+        let read = env(&[(0, 1)]);
+        let f1 = progress(&f, &read, 10);
+        assert!(matches!(*f1, Mx::NextN(2, _)));
+        let f2 = progress(&f1, &read, 20);
+        let f3 = progress(&f2, &read, 30);
+        assert!(matches!(*progress(&f3, &read, 40), Mx::True));
+    }
+
+    #[test]
+    fn next_et_anchors_and_resolves_at_deadline() {
+        let f = Rc::new(Mx::NextEt { eps_ns: 170, inner: lit(0, "rdy") });
+        let hi = env(&[(0, 1)]);
+        let lo = env(&[]);
+        let anchored = progress(&f, &lo, 10);
+        match &*anchored {
+            Mx::At { deadline_ns, .. } => assert_eq!(*deadline_ns, 180),
+            other => panic!("expected At, got {other:?}"),
+        }
+        // Events before the deadline leave it untouched.
+        let same = progress(&anchored, &hi, 100);
+        assert_eq!(same, anchored);
+        // Event at the deadline evaluates the operand.
+        assert!(matches!(*progress(&anchored, &hi, 180), Mx::True));
+        assert!(matches!(*progress(&anchored, &lo, 180), Mx::False));
+        // Event past the deadline fails.
+        assert!(matches!(*progress(&anchored, &hi, 190), Mx::False));
+    }
+
+    #[test]
+    fn until_progression() {
+        let u = Rc::new(Mx::Until(nlit(0, "ds"), lit(1, "rdy")));
+        // rdy high: resolves immediately.
+        assert!(matches!(*progress(&u, &env(&[(1, 1)]), 10), Mx::True));
+        // ds low, rdy low: residual keeps the until.
+        let r = progress(&u, &env(&[]), 10);
+        assert_eq!(r, u);
+        // ds high, rdy low: fails.
+        assert!(matches!(*progress(&u, &env(&[(0, 1)]), 10), Mx::False));
+    }
+
+    #[test]
+    fn release_progression() {
+        let r = Rc::new(Mx::Release(lit(0, "done"), lit(1, "ok")));
+        // ok low: fails.
+        assert!(matches!(*progress(&r, &env(&[(0, 1)]), 10), Mx::False
+            ), "ok must hold up to and including the releasing instant");
+        // ok high, done high: released.
+        assert!(matches!(*progress(&r, &env(&[(0, 1), (1, 1)]), 10), Mx::True));
+        // ok high, done low: continues.
+        let res = progress(&r, &env(&[(1, 1)]), 10);
+        assert_eq!(res, r);
+    }
+
+    #[test]
+    fn wake_plan_classifies() {
+        let at = Rc::new(Mx::At { deadline_ns: 170, inner: lit(0, "a") });
+        assert_eq!(wake_plan(&at), WakePlan::AtTime(170));
+        let two = m_or(
+            Rc::new(Mx::At { deadline_ns: 200, inner: lit(0, "a") }),
+            Rc::new(Mx::At { deadline_ns: 150, inner: lit(1, "b") }),
+        );
+        assert_eq!(wake_plan(&two), WakePlan::AtTime(150));
+        let until = Rc::new(Mx::Until(lit(0, "a"), lit(1, "b")));
+        assert_eq!(wake_plan(&until), WakePlan::EveryEvent);
+        let mixed = m_and(at, until);
+        assert_eq!(wake_plan(&mixed), WakePlan::EveryEvent);
+    }
+
+    /// Paper q3-style checker at TLM granularity: `always (!ds || next_et
+    /// [1,170] rdy)`.
+    fn q3_checker() -> PropertyChecker {
+        let body = m_or(
+            nlit(0, "ds"),
+            Rc::new(Mx::NextEt { eps_ns: 170, inner: lit(1, "rdy") }),
+        );
+        PropertyChecker::new("q3".into(), body, true, None)
+    }
+
+    #[test]
+    fn q3_completes_on_timely_ready() {
+        let mut c = q3_checker();
+        c.on_event(&env(&[(0, 1)]), 10); // ds fires
+        assert_eq!(c.live_instances(), 1);
+        c.on_event(&env(&[]), 60); // unrelated transaction: ignored by table
+        c.on_event(&env(&[(1, 1)]), 180); // rdy exactly at 10+170
+        let r = c.report();
+        assert_eq!(r.failure_count, 0);
+        assert_eq!(r.completions, 1);
+        // Activations at every event; the two ds=0 ones are vacuous.
+        assert_eq!(r.activations, 3);
+        assert_eq!(r.vacuous, 2);
+        assert_eq!(c.live_instances(), 0, "completed instance reused");
+    }
+
+    #[test]
+    fn q3_fails_when_deadline_missed() {
+        let mut c = q3_checker();
+        c.on_event(&env(&[(0, 1)]), 10);
+        // Next transaction arrives past the 180ns deadline.
+        c.on_event(&env(&[(1, 1)]), 350);
+        let r = c.report();
+        assert_eq!(r.failure_count, 1);
+        assert_eq!(
+            r.failures[0].reason,
+            FailReason::MissedDeadline { deadline_ns: 180 }
+        );
+        assert_eq!(r.failures[0].fire_ns, 10);
+        assert_eq!(r.failures[0].fail_ns, 350);
+    }
+
+    #[test]
+    fn q3_fails_on_wrong_value_at_deadline() {
+        let mut c = q3_checker();
+        c.on_event(&env(&[(0, 1)]), 10);
+        c.on_event(&env(&[]), 180); // event at deadline but rdy low
+        let r = c.report();
+        assert_eq!(r.failure_count, 1);
+        assert_eq!(r.failures[0].reason, FailReason::Violated);
+    }
+
+    #[test]
+    fn finish_classifies_due_vs_pending() {
+        let mut c = q3_checker();
+        c.on_event(&env(&[(0, 1)]), 10); // deadline 180
+        c.finish(100); // simulation ended before the deadline
+        assert_eq!(c.report().pending, 1);
+        assert_eq!(c.report().failure_count, 0);
+
+        let mut c = q3_checker();
+        c.on_event(&env(&[(0, 1)]), 10);
+        c.finish(500); // deadline 180 passed without event
+        assert_eq!(c.report().pending, 0);
+        assert_eq!(c.report().failure_count, 1);
+    }
+
+    #[test]
+    fn guard_filters_events() {
+        let body = nlit(0, "ds");
+        let guard = lit(1, "en");
+        let mut c = PropertyChecker::new("g".into(), body, true, Some(guard));
+        c.on_event(&env(&[(0, 1)]), 10); // en low: invisible, no activation
+        assert_eq!(c.report().activations, 0);
+        c.on_event(&env(&[(0, 1), (1, 1)]), 20); // visible, !ds violated
+        assert_eq!(c.report().activations, 1);
+        assert_eq!(c.report().failure_count, 1);
+    }
+
+    #[test]
+    fn non_repeating_property_fires_once() {
+        // (!rdy) until ds
+        let body = Rc::new(Mx::Until(nlit(1, "rdy"), lit(0, "ds")));
+        let mut c = PropertyChecker::new("p9".into(), body, false, None);
+        c.on_event(&env(&[]), 10);
+        c.on_event(&env(&[]), 20);
+        assert_eq!(c.report().activations, 1);
+        assert_eq!(c.live_instances(), 1);
+        c.on_event(&env(&[(0, 1)]), 30); // ds arrives: resolves
+        assert_eq!(c.report().completions, 1);
+        assert_eq!(c.live_instances(), 0);
+    }
+
+    #[test]
+    fn pool_reuses_slots() {
+        let mut c = q3_checker();
+        for k in 0..5u64 {
+            let t = 10 + 400 * k;
+            c.on_event(&env(&[(0, 1)]), t);
+            c.on_event(&env(&[(1, 1)]), t + 170);
+        }
+        let r = c.report();
+        assert_eq!(r.completions, 5);
+        assert_eq!(r.max_live_instances, 1, "slots are reset and reused (Section IV, point 3)");
+    }
+
+    #[test]
+    fn max_live_matches_paper_lifetime_bound() {
+        // q3 at cycle-accurate granularity: a transaction every 10ns and a
+        // firing (ds=1) at each: at most ceil(170/10) = 17 live instances
+        // plus the one activated at the current event.
+        let mut c = q3_checker();
+        for k in 0..100u64 {
+            c.on_event(&env(&[(0, 1), (1, 1)]), 10 + 10 * k);
+        }
+        let r = c.report();
+        assert!(r.max_live_instances <= 18, "max live = {}", r.max_live_instances);
+        assert!(r.max_live_instances >= 17, "max live = {}", r.max_live_instances);
+    }
+}

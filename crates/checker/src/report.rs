@@ -1,0 +1,239 @@
+//! Verification results.
+
+use std::fmt;
+
+/// Why an instance failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The monitored condition evaluated to false.
+    Violated,
+    /// An anchored `next_ε^τ` obligation expected an event at
+    /// `deadline_ns`, but the next observed event came later (or the
+    /// simulation ended) — Section IV's "failure at 350ns because C\[3\] was
+    /// not executed when expected at 340ns" case.
+    MissedDeadline {
+        /// The expected evaluation instant.
+        deadline_ns: u64,
+    },
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::Violated => f.write_str("condition violated"),
+            FailReason::MissedDeadline { deadline_ns } => {
+                write!(f, "no event at required instant {deadline_ns}ns")
+            }
+        }
+    }
+}
+
+/// One recorded property violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// When the failing instance was activated.
+    pub fire_ns: u64,
+    /// When the failure was detected.
+    pub fail_ns: u64,
+    /// Why it failed.
+    pub reason: FailReason,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fired @{}ns, failed @{}ns: {}", self.fire_ns, self.fail_ns, self.reason)
+    }
+}
+
+/// Overall verdict of a property over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No instance failed.
+    Pass,
+    /// At least one instance failed.
+    Fail,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Pass => "PASS",
+            Verdict::Fail => "FAIL",
+        })
+    }
+}
+
+/// Maximum number of failures retained with full detail; further failures
+/// only increment [`PropertyReport::failure_count`].
+pub const MAX_RECORDED_FAILURES: usize = 64;
+
+/// Accumulated results of one property's checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// Property display name.
+    pub name: String,
+    /// Verification sessions started (one per matching evaluation point for
+    /// `always` properties).
+    pub activations: u64,
+    /// Activations that were trivially true and never registered.
+    pub vacuous: u64,
+    /// Instances that resolved successfully after registration.
+    pub completions: u64,
+    /// Total failures (recorded + overflowed).
+    pub failure_count: u64,
+    /// First [`MAX_RECORDED_FAILURES`] failures, in detection order.
+    pub failures: Vec<Failure>,
+    /// Instances still undetermined at simulation end.
+    pub pending: u64,
+    /// High-water mark of simultaneously live instances — comparable to the
+    /// paper's static lifetime bound for the checker-instance array.
+    pub max_live_instances: usize,
+    /// Monitor progression steps performed (work measure).
+    pub evaluations: u64,
+}
+
+impl PropertyReport {
+    /// An empty report for `name`.
+    #[must_use]
+    pub fn new(name: String) -> PropertyReport {
+        PropertyReport {
+            name,
+            activations: 0,
+            vacuous: 0,
+            completions: 0,
+            failure_count: 0,
+            failures: Vec::new(),
+            pending: 0,
+            max_live_instances: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// The overall verdict.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        if self.failure_count > 0 {
+            Verdict::Fail
+        } else {
+            Verdict::Pass
+        }
+    }
+
+    pub(crate) fn record_failure(&mut self, failure: Failure) {
+        self.failure_count += 1;
+        if self.failures.len() < MAX_RECORDED_FAILURES {
+            self.failures.push(failure);
+        }
+    }
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} activations, {} vacuous, {} completed, {} failed, {} pending)",
+            self.name,
+            self.verdict(),
+            self.activations,
+            self.vacuous,
+            self.completions,
+            self.failure_count,
+            self.pending
+        )
+    }
+}
+
+/// Results of a whole property suite over one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Per-property results, in installation order.
+    pub properties: Vec<PropertyReport>,
+}
+
+impl CheckReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> CheckReport {
+        CheckReport::default()
+    }
+
+    /// True if every property passed.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.properties.iter().all(|p| p.verdict() == Verdict::Pass)
+    }
+
+    /// Total failures across properties.
+    #[must_use]
+    pub fn total_failures(&self) -> u64 {
+        self.properties.iter().map(|p| p.failure_count).sum()
+    }
+
+    /// The report for the property named `name`.
+    #[must_use]
+    pub fn property(&self, name: &str) -> Option<&PropertyReport> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+}
+
+impl FromIterator<PropertyReport> for CheckReport {
+    fn from_iter<I: IntoIterator<Item = PropertyReport>>(iter: I) -> CheckReport {
+        CheckReport { properties: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.properties {
+            writeln!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts() {
+        let mut r = PropertyReport::new("p".into());
+        assert_eq!(r.verdict(), Verdict::Pass);
+        r.record_failure(Failure { fire_ns: 1, fail_ns: 2, reason: FailReason::Violated });
+        assert_eq!(r.verdict(), Verdict::Fail);
+        assert_eq!(r.failure_count, 1);
+    }
+
+    #[test]
+    fn failure_recording_caps_detail() {
+        let mut r = PropertyReport::new("p".into());
+        for i in 0..(MAX_RECORDED_FAILURES as u64 + 10) {
+            r.record_failure(Failure { fire_ns: i, fail_ns: i, reason: FailReason::Violated });
+        }
+        assert_eq!(r.failures.len(), MAX_RECORDED_FAILURES);
+        assert_eq!(r.failure_count, MAX_RECORDED_FAILURES as u64 + 10);
+    }
+
+    #[test]
+    fn check_report_aggregates() {
+        let ok = PropertyReport::new("ok".into());
+        let mut bad = PropertyReport::new("bad".into());
+        bad.record_failure(Failure { fire_ns: 0, fail_ns: 5, reason: FailReason::Violated });
+        let report: CheckReport = [ok, bad].into_iter().collect();
+        assert!(!report.all_pass());
+        assert_eq!(report.total_failures(), 1);
+        assert_eq!(report.property("ok").unwrap().verdict(), Verdict::Pass);
+        assert!(report.property("ghost").is_none());
+        assert!(report.to_string().contains("bad: FAIL"));
+    }
+
+    #[test]
+    fn displays() {
+        let f = Failure {
+            fire_ns: 10,
+            fail_ns: 350,
+            reason: FailReason::MissedDeadline { deadline_ns: 340 },
+        };
+        assert_eq!(f.to_string(), "fired @10ns, failed @350ns: no event at required instant 340ns");
+    }
+}

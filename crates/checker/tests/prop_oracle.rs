@@ -1,0 +1,148 @@
+//! Property-based equivalence between the online checker (progression
+//! monitors + wrapper) and the finite-trace oracle in [`psl::trace`].
+//!
+//! For random simple-subset properties and random transaction streams,
+//! a non-repeating checker's verdict must agree with evaluating the
+//! property on the recorded trace at position 0, whenever the checker
+//! reached a verdict (completed or failed) before the stream ended.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use abv_checker::{install_tx_checkers, TxCheckerHost, Verdict};
+use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use psl::trace::{Step, Trace};
+use psl::{Atom, ClockedProperty, EvalContext, Property};
+use tlmkit::{Transaction, TransactionBus};
+
+const SIGNALS: &[&str] = &["a", "b", "c"];
+
+/// Replays `(time, values…)` rows as transactions.
+struct Replay {
+    bus: TransactionBus,
+    sigs: Vec<SignalId>,
+    rows: Vec<(u64, Vec<u64>)>,
+    next: usize,
+}
+
+impl Component for Replay {
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+        let (_, values) = &self.rows[self.next];
+        for (sig, v) in self.sigs.iter().zip(values) {
+            ctx.write(*sig, *v);
+        }
+        self.bus.publish(ctx, Transaction::write(0, 0, ev.time));
+        self.next += 1;
+        if let Some(&(t, _)) = self.rows.get(self.next) {
+            ctx.schedule_self(t - ev.time.as_ns(), 0);
+        }
+    }
+}
+
+fn arb_atom() -> impl Strategy<Value = Property> {
+    prop_oneof![
+        prop::sample::select(SIGNALS).prop_map(|s| Property::Atom(Atom::bool(s))),
+        prop::sample::select(SIGNALS).prop_map(|s| Property::not(Property::Atom(Atom::bool(s)))),
+        (prop::sample::select(SIGNALS), 0u64..3).prop_map(|(s, v)| Property::cmp(s, psl::CmpOp::Eq, v)),
+    ]
+}
+
+/// Simple-subset temporal properties over the shared signals, including
+/// `next[n]` and `next_ε^τ` (with offsets that are multiples of the
+/// 10 ns stream spacing, plus deliberately unaligned ones).
+fn arb_property() -> impl Strategy<Value = Property> {
+    let leaf = arb_atom();
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.and(y)),
+            (arb_atom(), inner.clone()).prop_map(|(x, y)| x.or(y)),
+            (1u32..4, inner.clone()).prop_map(|(n, p)| Property::next_n(n, p)),
+            (1u32..4, prop::sample::select(vec![10u64, 20, 30, 15]), inner.clone())
+                .prop_map(|(tau, eps, p)| Property::next_et(tau, eps, p)),
+            (arb_atom(), inner.clone()).prop_map(|(x, y)| x.until(y)),
+            (arb_atom(), inner).prop_map(|(x, y)| x.release(y)),
+        ]
+    })
+}
+
+/// A transaction stream: strictly increasing times (multiples of 10 ns,
+/// with occasional gaps), random signal values.
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
+    prop::collection::vec((1u64..=3, prop::collection::vec(0u64..3, SIGNALS.len())), 2..14)
+        .prop_map(|rows| {
+            let mut t = 0;
+            rows.into_iter()
+                .map(|(gap, values)| {
+                    t += gap * 10;
+                    (t, values)
+                })
+                .collect()
+        })
+}
+
+/// Runs the online checker (non-repeating property) over the stream.
+fn online_verdict(property: &Property, rows: &[(u64, Vec<u64>)]) -> (Verdict, u64, u64) {
+    let mut sim = Simulation::new();
+    let bus = TransactionBus::new();
+    let sigs: Vec<SignalId> = SIGNALS.iter().map(|s| sim.add_signal(s, 0)).collect();
+    let first = rows[0].0;
+    let model = sim.add_component(Replay {
+        bus: bus.clone(),
+        sigs,
+        rows: rows.to_vec(),
+        next: 0,
+    });
+    sim.schedule(SimTime::from_ns(first), model, 0);
+    let clocked = ClockedProperty::new(property.clone(), EvalContext::tb());
+    let hosts =
+        install_tx_checkers(&mut sim, &bus, &[("p".to_owned(), clocked)]).expect("installs");
+    sim.run_to_completion();
+    let end = sim.now().as_ns();
+    let report = sim.component_mut::<TxCheckerHost>(hosts[0]).expect("host").finalize(end);
+    (report.verdict(), report.completions + report.vacuous, report.pending)
+}
+
+/// Builds the trace the oracle sees (one step per transaction).
+fn trace_of(rows: &[(u64, Vec<u64>)]) -> Trace {
+    rows.iter()
+        .map(|(t, values)| {
+            Step::new(
+                *t,
+                SIGNALS.iter().zip(values).map(|(n, v)| ((*n).to_owned(), *v)),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// When the online checker reaches a definite verdict before the
+    /// stream ends, it matches the oracle's evaluation at position 0.
+    #[test]
+    fn online_checker_matches_trace_oracle(p in arb_property(), rows in arb_stream()) {
+        let (verdict, resolved_ok, pending) = online_verdict(&p, &rows);
+        let trace = trace_of(&rows);
+        let map_env: HashMap<String, u64> = HashMap::new();
+        let _ = map_env;
+        let expected = trace.eval(&p, 0).expect("signals all defined");
+        if pending == 0 {
+            // Fully resolved: verdicts must agree exactly.
+            let online_pass = verdict == Verdict::Pass;
+            prop_assert_eq!(
+                online_pass, expected,
+                "property {} on rows {:?}: online {:?} vs oracle {}",
+                &p, &rows, verdict, expected
+            );
+            prop_assert!(resolved_ok >= 1 || verdict == Verdict::Fail);
+        } else {
+            // Undetermined online ⇒ the oracle may go either way (its
+            // end-of-trace conventions decide); a FAIL verdict recorded
+            // before the end must still be a real failure though.
+            if verdict == Verdict::Fail {
+                prop_assert!(!expected,
+                    "online failure must imply oracle failure for {} on {:?}", &p, &rows);
+            }
+        }
+    }
+}

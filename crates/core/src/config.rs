@@ -1,0 +1,99 @@
+//! Configuration of an RTL-to-TLM property abstraction run.
+
+use std::collections::BTreeSet;
+
+/// Parameters describing how the RTL design was abstracted into the TLM
+/// model, needed to abstract its properties consistently.
+///
+/// Built with a fluent API:
+///
+/// ```
+/// use abv_core::AbstractionConfig;
+///
+/// let cfg = AbstractionConfig::new(10)
+///     .abstract_signal("rdy_next_cycle")
+///     .abstract_signal("rdy_next_next_cycle");
+/// assert_eq!(cfg.clock_period_ns(), 10);
+/// assert!(cfg.is_abstracted("rdy_next_cycle"));
+/// assert!(!cfg.is_abstracted("rdy"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractionConfig {
+    clock_period_ns: u64,
+    abstracted_signals: BTreeSet<String>,
+}
+
+impl AbstractionConfig {
+    /// Creates a configuration for an RTL design clocked with the given
+    /// period (Algorithm III.1's input `c`), with no abstracted signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_period_ns` is zero.
+    #[must_use]
+    pub fn new(clock_period_ns: u64) -> AbstractionConfig {
+        assert!(clock_period_ns > 0, "clock period must be positive");
+        AbstractionConfig { clock_period_ns, abstracted_signals: BTreeSet::new() }
+    }
+
+    /// Declares `signal` as removed by the RTL-to-TLM protocol abstraction
+    /// (Section III-B): subformulas observing it will be deleted by the
+    /// Fig. 4 rules.
+    #[must_use]
+    pub fn abstract_signal(mut self, signal: impl Into<String>) -> AbstractionConfig {
+        self.abstracted_signals.insert(signal.into());
+        self
+    }
+
+    /// Declares several signals as abstracted at once.
+    #[must_use]
+    pub fn abstract_signals<S: Into<String>>(
+        mut self,
+        signals: impl IntoIterator<Item = S>,
+    ) -> AbstractionConfig {
+        self.abstracted_signals.extend(signals.into_iter().map(Into::into));
+        self
+    }
+
+    /// The RTL clock period in nanoseconds.
+    #[must_use]
+    pub fn clock_period_ns(&self) -> u64 {
+        self.clock_period_ns
+    }
+
+    /// True if `signal` was removed by the protocol abstraction.
+    #[must_use]
+    pub fn is_abstracted(&self, signal: &str) -> bool {
+        self.abstracted_signals.contains(signal)
+    }
+
+    /// The abstracted signals, in sorted order.
+    pub fn abstracted_signals(&self) -> impl Iterator<Item = &str> {
+        self.abstracted_signals.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_signals() {
+        let cfg = AbstractionConfig::new(10)
+            .abstract_signal("a")
+            .abstract_signals(["b", "c"]);
+        assert_eq!(cfg.abstracted_signals().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_signals_are_deduplicated() {
+        let cfg = AbstractionConfig::new(10).abstract_signal("a").abstract_signal("a");
+        assert_eq!(cfg.abstracted_signals().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be positive")]
+    fn zero_period_rejected() {
+        let _ = AbstractionConfig::new(0);
+    }
+}

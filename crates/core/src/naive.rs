@@ -1,0 +1,124 @@
+//! The *naive* transaction-count scaling rejected by the paper
+//! (Section III-A), kept for ablation experiments.
+//!
+//! The naive approach maps the `n` clock cycles analysed by a `next[n]`
+//! operator onto a corresponding number `m` of transactions, substituting
+//! `next[n]` with `next[m]` and counting transactions instead of clock
+//! cycles. The paper shows why this is not generally applicable:
+//!
+//! - it requires knowing exactly how many clock cycles each transaction
+//!   covers and the exact transaction schedule within the property's
+//!   monitoring window, and
+//! - an overlapping (unexpected) transaction touching an unrelated part of
+//!   the design inserts an extra evaluation point that makes the property
+//!   fail inopportunely.
+//!
+//! The ablation benchmark and the integration tests use this module to
+//! reproduce those spurious failures next to the correct `next_ε^τ`
+//! abstraction.
+
+use psl::push_ahead::is_pushed;
+use psl::Property;
+
+/// Errors returned by [`naive_scale`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NaiveScaleError {
+    /// The property must be push-ahead normalized first.
+    NotPushed,
+    /// `cycles_per_transaction` was zero.
+    ZeroRatio,
+}
+
+impl std::fmt::Display for NaiveScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NaiveScaleError::NotPushed => {
+                f.write_str("property must be push-ahead normalized before naive scaling")
+            }
+            NaiveScaleError::ZeroRatio => f.write_str("cycles per transaction must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for NaiveScaleError {}
+
+/// Rescales every `next[n]` to `next[max(1, round(n / cycles_per_transaction))]`,
+/// the transaction count the designer *believes* covers `n` clock cycles.
+///
+/// # Errors
+///
+/// - [`NaiveScaleError::NotPushed`] if some `next` operand is not a literal;
+/// - [`NaiveScaleError::ZeroRatio`] if `cycles_per_transaction == 0`.
+///
+/// ```
+/// use abv_core::naive::naive_scale;
+/// use psl::Property;
+///
+/// let p: Property = "next[17] (out != 0)".parse()?;
+/// // One transaction per 17 cycles, says the (optimistic) designer:
+/// assert_eq!(naive_scale(&p, 17)?.to_string(), "next (out != 0)");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn naive_scale(
+    p: &Property,
+    cycles_per_transaction: u32,
+) -> Result<Property, NaiveScaleError> {
+    if cycles_per_transaction == 0 {
+        return Err(NaiveScaleError::ZeroRatio);
+    }
+    if !is_pushed(p) {
+        return Err(NaiveScaleError::NotPushed);
+    }
+    Ok(rescale(p, cycles_per_transaction))
+}
+
+fn rescale(p: &Property, ratio: u32) -> Property {
+    match p {
+        Property::Const(_) | Property::Atom(_) | Property::Not(_) => p.clone(),
+        Property::And(a, b) => rescale(a, ratio).and(rescale(b, ratio)),
+        Property::Or(a, b) => rescale(a, ratio).or(rescale(b, ratio)),
+        Property::Implies(a, b) => rescale(a, ratio).implies(rescale(b, ratio)),
+        Property::Until(a, b) => rescale(a, ratio).until(rescale(b, ratio)),
+        Property::Release(a, b) => rescale(a, ratio).release(rescale(b, ratio)),
+        Property::Always(inner) => Property::always(rescale(inner, ratio)),
+        Property::Eventually(inner) => Property::eventually(rescale(inner, ratio)),
+        Property::Next { n, inner } => {
+            let m = (n + ratio / 2) / ratio;
+            Property::next_n(m.max(1), (**inner).clone())
+        }
+        Property::NextEt { tau, eps_ns, inner } => {
+            Property::next_et(*tau, *eps_ns, rescale(inner, ratio))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_nearest_transaction_count() {
+        let p: Property = "next[17] a".parse().unwrap();
+        assert_eq!(naive_scale(&p, 17).unwrap().to_string(), "next a");
+        assert_eq!(naive_scale(&p, 10).unwrap().to_string(), "next[2] a");
+        assert_eq!(naive_scale(&p, 1).unwrap().to_string(), "next[17] a");
+    }
+
+    #[test]
+    fn never_scales_to_zero() {
+        let p: Property = "next a".parse().unwrap();
+        assert_eq!(naive_scale(&p, 100).unwrap().to_string(), "next a");
+    }
+
+    #[test]
+    fn rejects_zero_ratio() {
+        let p: Property = "next a".parse().unwrap();
+        assert_eq!(naive_scale(&p, 0), Err(NaiveScaleError::ZeroRatio));
+    }
+
+    #[test]
+    fn rejects_unpushed() {
+        let p: Property = "next (a && b)".parse().unwrap();
+        assert_eq!(naive_scale(&p, 2), Err(NaiveScaleError::NotPushed));
+    }
+}

@@ -1,0 +1,91 @@
+//! RGB → YCbCr colour-space conversion (ITU-R BT.601, integer
+//! approximation, full-range RGB to studio-range YCbCr).
+
+/// A converted pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ycbcr {
+    /// Luma, in [16, 235].
+    pub y: u8,
+    /// Blue-difference chroma, in [16, 240].
+    pub cb: u8,
+    /// Red-difference chroma, in [16, 240].
+    pub cr: u8,
+}
+
+fn clamp(v: i32, lo: i32, hi: i32) -> u8 {
+    v.clamp(lo, hi) as u8
+}
+
+/// Converts one full-range RGB pixel to studio-range YCbCr using the
+/// standard integer coefficients (`Y = 16 + (66R + 129G + 25B + 128) >> 8`,
+/// …).
+///
+/// ```
+/// use designs::colorconv::algo::convert;
+///
+/// assert_eq!(convert(0, 0, 0).y, 16);        // black
+/// assert_eq!(convert(255, 255, 255).y, 235); // white
+/// let green = convert(0, 255, 0);
+/// assert!(green.cb < 128 && green.cr < 128);
+/// ```
+#[must_use]
+pub fn convert(r: u8, g: u8, b: u8) -> Ycbcr {
+    let (r, g, b) = (i32::from(r), i32::from(g), i32::from(b));
+    let y = 16 + ((66 * r + 129 * g + 25 * b + 128) >> 8);
+    let cb = 128 + ((-38 * r - 74 * g + 112 * b + 128) >> 8);
+    let cr = 128 + ((112 * r - 94 * g - 18 * b + 128) >> 8);
+    Ycbcr {
+        y: clamp(y, 16, 235),
+        cb: clamp(cb, 16, 240),
+        cr: clamp(cr, 16, 240),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_and_white_anchors() {
+        assert_eq!(convert(0, 0, 0), Ycbcr { y: 16, cb: 128, cr: 128 });
+        let w = convert(255, 255, 255);
+        assert_eq!(w.y, 235);
+        // Chroma of a grey pixel stays at the midpoint (±1 rounding).
+        assert!((127..=129).contains(&w.cb), "cb = {}", w.cb);
+        assert!((127..=129).contains(&w.cr), "cr = {}", w.cr);
+    }
+
+    #[test]
+    fn primaries_have_expected_chroma_polarity() {
+        let red = convert(255, 0, 0);
+        assert!(red.cr > 200, "red is strongly positive in Cr: {}", red.cr);
+        assert!(red.cb < 128);
+        let blue = convert(0, 0, 255);
+        assert!(blue.cb > 200);
+        assert!(blue.cr < 128);
+        let green = convert(0, 255, 0);
+        assert!(green.cb < 80 && green.cr < 80);
+    }
+
+    #[test]
+    fn all_outputs_stay_in_studio_range() {
+        for r in (0u16..=255).step_by(17) {
+            for g in (0u16..=255).step_by(17) {
+                for b in (0u16..=255).step_by(17) {
+                    let px = convert(r as u8, g as u8, b as u8);
+                    assert!((16..=235).contains(&px.y));
+                    assert!((16..=240).contains(&px.cb));
+                    assert!((16..=240).contains(&px.cr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luma_is_monotone_in_each_channel() {
+        let base = convert(10, 20, 30);
+        assert!(convert(200, 20, 30).y > base.y);
+        assert!(convert(10, 200, 30).y > base.y);
+        assert!(convert(10, 20, 200).y > base.y);
+    }
+}

@@ -1,0 +1,284 @@
+//! The cycle-stepping ColorConv core shared by the RTL and TLM-CA models.
+//!
+//! An 8-stage pipeline with a throughput of one pixel per cycle and a
+//! latency of 8 cycles: a pixel whose `px_valid` is sampled at edge `e0`
+//! appears on `y`/`cb`/`cr` with `out_valid` at edge `e8`; the
+//! `ov_next_cycle` prediction output rises at `e7`.
+//!
+//! The conversion arithmetic is split across the pipeline stages the way
+//! the RTL implementation would be (products, blue terms, rounding, shift,
+//! offset, clamp, output register), so every stage does real per-cycle
+//! work and the final result equals [`algo::convert`] exactly.
+
+use super::algo::{self, Ycbcr};
+
+/// Work item travelling down the pipeline.
+#[derive(Debug, Clone, Copy)]
+struct Work {
+    r: i32,
+    g: i32,
+    b: i32,
+    y: i32,
+    cb: i32,
+    cr: i32,
+}
+
+/// Applies the work of pipeline stage `stage` (1-based move into that
+/// stage).
+fn stage_fn(stage: usize, mut w: Work) -> Work {
+    match stage {
+        // Stage 2: red/green products.
+        1 => {
+            w.y = 66 * w.r + 129 * w.g;
+            w.cb = -38 * w.r - 74 * w.g;
+            w.cr = 112 * w.r - 94 * w.g;
+        }
+        // Stage 3: blue terms.
+        2 => {
+            w.y += 25 * w.b;
+            w.cb += 112 * w.b;
+            w.cr += -18 * w.b;
+        }
+        // Stage 4: rounding.
+        3 => {
+            w.y += 128;
+            w.cb += 128;
+            w.cr += 128;
+        }
+        // Stage 5: shift.
+        4 => {
+            w.y >>= 8;
+            w.cb >>= 8;
+            w.cr >>= 8;
+        }
+        // Stage 6: offsets.
+        5 => {
+            w.y += 16;
+            w.cb += 128;
+            w.cr += 128;
+        }
+        // Stage 7: clamp.
+        6 => {
+            w.y = w.y.clamp(16, 235);
+            w.cb = w.cb.clamp(16, 240);
+            w.cr = w.cr.clamp(16, 240);
+        }
+        // Stages 1 (capture) and 8 (output register): pass-through.
+        _ => {}
+    }
+    w
+}
+
+/// Output interface of the core, one sample per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvOutputs {
+    /// Converted luma (holds its value once produced).
+    pub y: u64,
+    /// Converted blue-difference chroma.
+    pub cb: u64,
+    /// Converted red-difference chroma.
+    pub cr: u64,
+    /// One-cycle output strobe.
+    pub out_valid: bool,
+    /// Prediction: `out_valid` will rise at the next cycle.
+    pub ov_next_cycle: bool,
+}
+
+/// Fault injections for demonstrating checker effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvMutation {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Output produced one cycle early (latency 7).
+    LatencyShort,
+    /// Output produced one cycle late (latency 9).
+    LatencyLong,
+    /// Luma forced out of studio range.
+    CorruptLuma,
+    /// `out_valid` never asserted.
+    DropValid,
+}
+
+/// Cycle-accurate 8-stage ColorConv pipeline.
+#[derive(Debug, Clone)]
+pub struct ColorConvCore {
+    mutation: ConvMutation,
+    pipe: [Option<Work>; 9],
+    outputs: ConvOutputs,
+}
+
+impl ColorConvCore {
+    /// The design latency in clock cycles (strobe sample → output sample).
+    pub const LATENCY: u32 = 8;
+
+    /// A correct core.
+    #[must_use]
+    pub fn new() -> ColorConvCore {
+        ColorConvCore::with_mutation(ConvMutation::None)
+    }
+
+    /// A core with an injected fault.
+    #[must_use]
+    pub fn with_mutation(mutation: ConvMutation) -> ColorConvCore {
+        ColorConvCore { mutation, pipe: [None; 9], outputs: ConvOutputs::default() }
+    }
+
+    /// True while any pixel is in flight.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.pipe.iter().any(Option::is_some)
+    }
+
+    /// Executes one clock cycle with the given input pins; returns the
+    /// output pins as visible at this cycle's (postponed) sample.
+    pub fn step(&mut self, px_valid: bool, r: u8, g: u8, b: u8) -> ConvOutputs {
+        let depth = match self.mutation {
+            ConvMutation::LatencyShort => 7,
+            ConvMutation::LatencyLong => 9,
+            _ => 8,
+        };
+
+        // Shift the pipeline: the item leaving the last used stage exits.
+        let exiting = self.pipe[depth - 1].take();
+        for stage in (1..depth).rev() {
+            self.pipe[stage] = self.pipe[stage - 1].take().map(|w| stage_fn(stage, w));
+        }
+        self.pipe[0] = px_valid.then(|| Work {
+            r: i32::from(r),
+            g: i32::from(g),
+            b: i32::from(b),
+            y: 0,
+            cb: 0,
+            cr: 0,
+        });
+
+        self.outputs.out_valid = false;
+        if let Some(mut w) = exiting {
+            // Late/early pipelines still finish the arithmetic.
+            for stage in depth..=7 {
+                w = stage_fn(stage, w);
+            }
+            if matches!(self.mutation, ConvMutation::CorruptLuma) {
+                w.y = 0;
+            }
+            self.outputs.y = w.y as u64;
+            self.outputs.cb = w.cb as u64;
+            self.outputs.cr = w.cr as u64;
+            self.outputs.out_valid = !matches!(self.mutation, ConvMutation::DropValid);
+        }
+        self.outputs.ov_next_cycle = self.pipe[depth - 1].is_some();
+        self.outputs
+    }
+
+    /// Converts one pixel functionally (reference path used by the TLM-AT
+    /// model), applying the data mutations.
+    #[must_use]
+    pub fn convert_with_mutation(mutation: ConvMutation, r: u8, g: u8, b: u8) -> Ycbcr {
+        let mut px = algo::convert(r, g, b);
+        if matches!(mutation, ConvMutation::CorruptLuma) {
+            px.y = 0;
+        }
+        px
+    }
+}
+
+impl Default for ColorConvCore {
+    fn default() -> ColorConvCore {
+        ColorConvCore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_single(core: &mut ColorConvCore, r: u8, g: u8, b: u8, cycles: u32) -> Vec<ConvOutputs> {
+        (0..cycles).map(|c| core.step(c == 0, r, g, b)).collect()
+    }
+
+    #[test]
+    fn latency_is_8_cycles() {
+        let mut core = ColorConvCore::new();
+        let outs = run_single(&mut core, 10, 20, 30, 12);
+        for (cycle, o) in outs.iter().enumerate() {
+            assert_eq!(o.out_valid, cycle == 8, "out_valid wrong at cycle {cycle}");
+            assert_eq!(o.ov_next_cycle, cycle == 7, "ov_nc wrong at cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn pipeline_result_matches_reference() {
+        for (r, g, b) in [(0, 0, 0), (255, 255, 255), (0, 255, 0), (12, 200, 99)] {
+            let mut core = ColorConvCore::new();
+            let outs = run_single(&mut core, r, g, b, 10);
+            let expect = algo::convert(r, g, b);
+            assert_eq!(outs[8].y, u64::from(expect.y), "({r},{g},{b})");
+            assert_eq!(outs[8].cb, u64::from(expect.cb));
+            assert_eq!(outs[8].cr, u64::from(expect.cr));
+        }
+    }
+
+    #[test]
+    fn full_throughput_back_to_back() {
+        let mut core = ColorConvCore::new();
+        let pixels: Vec<(u8, u8, u8)> = (0..20).map(|i| (i as u8, 2 * i as u8, 255 - i as u8)).collect();
+        let mut outputs = Vec::new();
+        for c in 0..30 {
+            let (valid, (r, g, b)) = match pixels.get(c) {
+                Some(&p) => (true, p),
+                None => (false, (0, 0, 0)),
+            };
+            let o = core.step(valid, r, g, b);
+            if o.out_valid {
+                outputs.push((o.y, o.cb, o.cr));
+            }
+        }
+        assert_eq!(outputs.len(), 20, "one result per cycle once the pipe fills");
+        for (i, &(y, cb, cr)) in outputs.iter().enumerate() {
+            let e = algo::convert(pixels[i].0, pixels[i].1, pixels[i].2);
+            assert_eq!((y, cb, cr), (u64::from(e.y), u64::from(e.cb), u64::from(e.cr)));
+        }
+    }
+
+    #[test]
+    fn latency_mutations_shift_output() {
+        let mut short = ColorConvCore::with_mutation(ConvMutation::LatencyShort);
+        let outs = run_single(&mut short, 1, 2, 3, 12);
+        assert!(outs[7].out_valid && !outs[8].out_valid);
+        let expect = algo::convert(1, 2, 3);
+        assert_eq!(outs[7].y, u64::from(expect.y), "short pipe still computes correctly");
+
+        let mut long = ColorConvCore::with_mutation(ConvMutation::LatencyLong);
+        let outs = run_single(&mut long, 1, 2, 3, 12);
+        assert!(!outs[8].out_valid && outs[9].out_valid);
+        assert_eq!(outs[9].y, u64::from(expect.y));
+    }
+
+    #[test]
+    fn corrupt_luma_violates_range() {
+        let mut core = ColorConvCore::with_mutation(ConvMutation::CorruptLuma);
+        let outs = run_single(&mut core, 100, 100, 100, 10);
+        assert!(outs[8].out_valid);
+        assert_eq!(outs[8].y, 0);
+    }
+
+    #[test]
+    fn drop_valid_never_strobes() {
+        let mut core = ColorConvCore::with_mutation(ConvMutation::DropValid);
+        let outs = run_single(&mut core, 100, 100, 100, 12);
+        assert!(outs.iter().all(|o| !o.out_valid));
+    }
+
+    #[test]
+    fn busy_tracks_pipeline_occupancy() {
+        let mut core = ColorConvCore::new();
+        assert!(!core.busy());
+        core.step(true, 1, 1, 1);
+        assert!(core.busy());
+        for _ in 0..9 {
+            core.step(false, 0, 0, 0);
+        }
+        assert!(!core.busy());
+    }
+}

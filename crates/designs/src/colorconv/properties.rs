@@ -1,0 +1,147 @@
+//! The ColorConv PSL property suite: 12 RTL properties, as in the paper's
+//! evaluation (Section V).
+
+use psl::ClockedProperty;
+
+use crate::suite::{PropertyClass, SuiteEntry};
+
+/// Signals removed by the RTL-to-TLM protocol abstraction (the pipeline
+/// output prediction).
+pub const ABSTRACTED_SIGNALS: &[&str] = &["ov_next_cycle"];
+
+fn parse(src: &str) -> ClockedProperty {
+    src.parse().unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
+}
+
+/// The 12-property ColorConv suite.
+///
+/// ```
+/// let suite = designs::colorconv::suite();
+/// assert_eq!(suite.len(), 12);
+/// ```
+#[must_use]
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "c1",
+            intent: "every pixel completes in exactly 8 cycles",
+            rtl: parse("always (!px_valid || next[8] out_valid) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c2",
+            intent: "a black pixel converts to the luma floor (Y = 16)",
+            rtl: parse(
+                "always (!(px_valid && r == 0 && g == 0 && b == 0) || next[8](y == 16)) @clk_pos",
+            ),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c3",
+            intent: "a white pixel converts to the luma ceiling (Y = 235)",
+            rtl: parse(
+                "always (!(px_valid && r == 255 && g == 255 && b == 255) \
+                 || next[8](y == 235)) @clk_pos",
+            ),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c4",
+            intent: "valid luma never goes below the studio floor",
+            rtl: parse("always (!out_valid || y >= 16) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c5",
+            intent: "valid luma never exceeds the studio ceiling",
+            rtl: parse("always (!out_valid || y <= 235) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c6",
+            intent: "valid Cb stays within the studio range",
+            rtl: parse("always (!out_valid || (cb >= 16 && cb <= 240)) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c7",
+            intent: "valid Cr stays within the studio range",
+            rtl: parse("always (!out_valid || (cr >= 16 && cr <= 240)) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c8",
+            intent: "output is announced one cycle ahead, then produced",
+            rtl: parse(
+                "always (!px_valid || (next[7](ov_next_cycle) && next[8](out_valid))) @clk_pos",
+            ),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c9",
+            intent: "the one-cycle prediction is honoured",
+            rtl: parse("always (!ov_next_cycle || next out_valid) @clk_pos"),
+            class: PropertyClass::ReviewExpectedFail,
+        },
+        SuiteEntry {
+            name: "c10",
+            intent: "pixels are not issued back-to-back in this workload",
+            rtl: parse("always (!px_valid || next (!px_valid)) @clk_pos"),
+            class: PropertyClass::CaOnly,
+        },
+        SuiteEntry {
+            name: "c11",
+            intent: "no output is valid before the first pixel",
+            rtl: parse("(!out_valid) until px_valid @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "c12",
+            intent: "a pure green pixel has a low blue-difference chroma",
+            rtl: parse(
+                "always (!(px_valid && r == 0 && g == 255 && b == 0) \
+                 || next[8](cb <= 128)) @clk_pos",
+            ),
+            class: PropertyClass::AtCompatible,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_parseable_properties() {
+        let s = suite();
+        assert_eq!(s.len(), 12);
+        for e in &s {
+            assert!(e.name.starts_with('c'));
+            assert!(!e.intent.is_empty());
+        }
+    }
+
+    #[test]
+    fn only_c8_c9_touch_abstracted_signals() {
+        for entry in suite() {
+            let refs = entry
+                .rtl
+                .property
+                .signals()
+                .iter()
+                .any(|s| ABSTRACTED_SIGNALS.contains(s));
+            let expect = matches!(entry.name, "c8" | "c9");
+            assert_eq!(refs, expect, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn classes_cover_the_design_space() {
+        let s = suite();
+        let count = |class| s.iter().filter(|e| e.class == class).count();
+        assert_eq!(count(PropertyClass::AtCompatible), 10);
+        assert_eq!(count(PropertyClass::CaOnly), 1);
+        assert_eq!(count(PropertyClass::ReviewExpectedFail), 1);
+        assert_eq!(count(PropertyClass::DeletedAtTlm), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The DES56 PSL property suite: 9 RTL properties, as in the paper's
+//! evaluation (Section V), including the three of Fig. 3.
+
+use psl::ClockedProperty;
+
+use crate::suite::{PropertyClass, SuiteEntry};
+
+/// Signals removed by the RTL-to-TLM protocol abstraction (the ready
+/// prediction outputs), i.e. the input to the Fig. 4 rules.
+pub const ABSTRACTED_SIGNALS: &[&str] = &["rdy_next_cycle", "rdy_next_next_cycle"];
+
+fn parse(src: &str) -> ClockedProperty {
+    src.parse().unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
+}
+
+/// The 9-property DES56 suite.
+///
+/// ```
+/// let suite = designs::des56::suite();
+/// assert_eq!(suite.len(), 9);
+/// assert_eq!(suite[0].name, "p1");
+/// ```
+#[must_use]
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "p1",
+            intent: "a zero input block still produces a non-zero result 17 cycles later",
+            rtl: parse("always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "p2",
+            intent: "after a strobe, no new strobe arrives until the result is ready",
+            rtl: parse("always (!ds || (next ((!ds) until next rdy))) @clk_pos"),
+            class: PropertyClass::CaOnly,
+        },
+        SuiteEntry {
+            name: "p3",
+            intent: "ready is announced two cycles ahead, one cycle ahead, then raised",
+            rtl: parse(
+                "always (!ds || (next[15](rdy_next_next_cycle) && next[16](rdy_next_cycle) \
+                 && next[17](rdy))) @clk_pos",
+            ),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "p4",
+            intent: "every request completes in exactly 17 cycles",
+            rtl: parse("always (!ds || next[17] rdy) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "p5",
+            intent: "decryption requests complete with the same latency",
+            rtl: parse("always (!(ds && mode == 1) || next[17] rdy) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "p6",
+            intent: "guarded variant of p1: checked only at instants with a zero input",
+            rtl: parse("always (!ds || next[17](out != 0)) @(clk_pos && indata == 0)"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "p7",
+            intent: "the strobe and the ready pulse are never simultaneous",
+            rtl: parse("always (!rdy || !ds) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "p8",
+            intent: "the two-cycle ready prediction is followed by the one-cycle prediction",
+            rtl: parse("always (!rdy_next_next_cycle || next rdy_next_cycle) @clk_pos"),
+            class: PropertyClass::DeletedAtTlm,
+        },
+        SuiteEntry {
+            name: "p9",
+            intent: "no result is announced before the first request",
+            rtl: parse("(!rdy) until ds @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_parseable_properties() {
+        let s = suite();
+        assert_eq!(s.len(), 9);
+        let names: Vec<_> = s.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9"]);
+    }
+
+    #[test]
+    fn paper_fig3_properties_match() {
+        let s = suite();
+        assert_eq!(
+            s[0].rtl.to_string(),
+            "always ((!(ds && (indata == 0))) || (next[17] (out != 0))) @clk_pos"
+        );
+        assert_eq!(
+            s[1].rtl.to_string(),
+            "always ((!ds) || (next ((!ds) until (next rdy)))) @clk_pos"
+        );
+        assert!(s[2].rtl.to_string().contains("next[15] rdy_next_next_cycle"));
+    }
+
+    #[test]
+    fn only_p8_touches_only_abstracted_signals() {
+        for entry in suite() {
+            let refs_abstracted = entry
+                .rtl
+                .property
+                .signals()
+                .iter()
+                .any(|s| ABSTRACTED_SIGNALS.contains(s));
+            let expect = matches!(entry.name, "p3" | "p8");
+            assert_eq!(refs_abstracted, expect, "{}", entry.name);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The cycle-stepping FIR core shared by the RTL and TLM-CA models.
+//!
+//! A 4-tap transposed-form FIR: a sample strobed at edge `e0` produces its
+//! filtered output at edge `e5` (capture, four multiply-accumulate stages,
+//! output register). Samples may arrive back-to-back (throughput 1).
+
+/// The fixed filter taps (Q8 fixed point: a gentle low-pass).
+pub const TAPS: [u32; 4] = [32, 96, 96, 32];
+
+/// Output interface of the core, one sample per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirOutputs {
+    /// Filtered output (`Σ tap_i · x[n-i] >> 8`), valid with `out_valid`.
+    pub result: u64,
+    /// One-cycle result strobe.
+    pub out_valid: bool,
+    /// Prediction: `out_valid` rises at the next cycle.
+    pub res_next_cycle: bool,
+}
+
+/// Fault injections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FirMutation {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Output produced one cycle early.
+    LatencyShort,
+    /// Wrong arithmetic: the first tap is dropped.
+    DropTap,
+}
+
+/// The reference (functional) filter over a sample history, newest first.
+#[must_use]
+pub fn reference(history: &[u64; 4]) -> u64 {
+    let acc: u64 = TAPS.iter().zip(history).map(|(t, x)| u64::from(*t) * x).sum();
+    acc >> 8
+}
+
+/// Work item travelling down the MAC pipeline.
+#[derive(Debug, Clone, Copy)]
+struct Work {
+    history: [u64; 4],
+    acc: u64,
+    stage: usize,
+}
+
+/// Cycle-accurate 4-tap FIR pipeline (latency 5).
+#[derive(Debug, Clone)]
+pub struct FirCore {
+    mutation: FirMutation,
+    delay_line: [u64; 4],
+    pipe: [Option<Work>; 5],
+    outputs: FirOutputs,
+}
+
+impl FirCore {
+    /// The design latency in clock cycles (strobe sample → result sample).
+    pub const LATENCY: u32 = 5;
+
+    /// A core with an injected fault (or [`FirMutation::None`]).
+    #[must_use]
+    pub fn new(mutation: FirMutation) -> FirCore {
+        FirCore {
+            mutation,
+            delay_line: [0; 4],
+            pipe: [None; 5],
+            outputs: FirOutputs::default(),
+        }
+    }
+
+    /// Executes one clock cycle with the given input pins.
+    pub fn step(&mut self, in_valid: bool, sample: u64) -> FirOutputs {
+        let depth = match self.mutation {
+            FirMutation::LatencyShort => 4,
+            _ => 5,
+        };
+
+        let exiting = self.pipe[depth - 1].take();
+        for stage in (1..depth).rev() {
+            let mutation = self.mutation;
+            self.pipe[stage] = self.pipe[stage - 1].take().map(|mut w| {
+                // Stages 1..=4 each accumulate one tap.
+                if (1..=4).contains(&w.stage) {
+                    let dropped = matches!(mutation, FirMutation::DropTap) && w.stage == 1;
+                    if !dropped {
+                        w.acc += u64::from(TAPS[w.stage - 1]) * w.history[w.stage - 1];
+                    }
+                }
+                w.stage += 1;
+                w
+            });
+        }
+        if in_valid {
+            self.delay_line.rotate_right(1);
+            self.delay_line[0] = sample;
+            self.pipe[0] = Some(Work { history: self.delay_line, acc: 0, stage: 1 });
+        }
+
+        self.outputs.out_valid = false;
+        if let Some(mut w) = exiting {
+            // A shortened pipe finishes the remaining taps combinationally.
+            while w.stage <= 4 {
+                w.acc += u64::from(TAPS[w.stage - 1]) * w.history[w.stage - 1];
+                w.stage += 1;
+            }
+            self.outputs.result = w.acc >> 8;
+            self.outputs.out_valid = true;
+        }
+        self.outputs.res_next_cycle = self.pipe[depth - 1].is_some();
+        self.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_single(core: &mut FirCore, sample: u64, cycles: u32) -> Vec<FirOutputs> {
+        (0..cycles).map(|c| core.step(c == 0, sample)).collect()
+    }
+
+    #[test]
+    fn latency_is_5_cycles() {
+        let mut core = FirCore::new(FirMutation::None);
+        let outs = run_single(&mut core, 256, 8);
+        for (cycle, o) in outs.iter().enumerate() {
+            assert_eq!(o.out_valid, cycle == 5, "cycle {cycle}");
+            assert_eq!(o.res_next_cycle, cycle == 4, "cycle {cycle}");
+        }
+        // First sample: history = [256, 0, 0, 0].
+        assert_eq!(outs[5].result, reference(&[256, 0, 0, 0]));
+    }
+
+    #[test]
+    fn streaming_matches_reference() {
+        let samples: Vec<u64> = (1..=20).map(|k| k * 37).collect();
+        let mut core = FirCore::new(FirMutation::None);
+        let mut results = Vec::new();
+        for c in 0..30 {
+            let (valid, sample) = match samples.get(c) {
+                Some(&s) => (true, s),
+                None => (false, 0),
+            };
+            let o = core.step(valid, sample);
+            if o.out_valid {
+                results.push(o.result);
+            }
+        }
+        assert_eq!(results.len(), samples.len());
+        let mut history = [0u64; 4];
+        for (i, &s) in samples.iter().enumerate() {
+            history.rotate_right(1);
+            history[0] = s;
+            assert_eq!(results[i], reference(&history), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn latency_short_mutation() {
+        let mut core = FirCore::new(FirMutation::LatencyShort);
+        let outs = run_single(&mut core, 256, 8);
+        assert!(outs[4].out_valid && !outs[5].out_valid);
+        assert_eq!(outs[4].result, reference(&[256, 0, 0, 0]), "value still correct");
+    }
+
+    #[test]
+    fn drop_tap_mutation_corrupts_value() {
+        let mut core = FirCore::new(FirMutation::DropTap);
+        let outs = run_single(&mut core, 256, 8);
+        assert!(outs[5].out_valid);
+        assert_ne!(outs[5].result, reference(&[256, 0, 0, 0]));
+    }
+
+    #[test]
+    fn dc_gain_is_unity() {
+        // Taps sum to 256 (Q8), so a constant input passes through.
+        assert_eq!(TAPS.iter().sum::<u32>(), 256);
+        assert_eq!(reference(&[1000, 1000, 1000, 1000]), 1000);
+    }
+}

@@ -1,0 +1,67 @@
+//! The FIR PSL property suite: 6 RTL properties for the extension IP.
+
+use psl::ClockedProperty;
+
+use crate::suite::{PropertyClass, SuiteEntry};
+
+/// Signals removed by the protocol abstraction.
+pub const ABSTRACTED_SIGNALS: &[&str] = &["res_next_cycle"];
+
+fn parse(src: &str) -> ClockedProperty {
+    src.parse().unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
+}
+
+/// The 6-property FIR suite.
+#[must_use]
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "f1",
+            intent: "every sample produces a result in exactly 5 cycles",
+            rtl: parse("always (!in_valid || next[5] out_valid) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "f2",
+            intent: "results respect the filter's DC bound (taps sum to unity)",
+            rtl: parse("always (!out_valid || result <= 65535) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "f3",
+            intent: "result is announced one cycle ahead, then produced",
+            rtl: parse("always (!in_valid || (next[4](res_next_cycle) && next[5](out_valid))) @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "f4",
+            intent: "samples are spaced in this workload",
+            rtl: parse("always (!in_valid || next (!in_valid)) @clk_pos"),
+            class: PropertyClass::CaOnly,
+        },
+        SuiteEntry {
+            name: "f5",
+            intent: "no result before the first sample",
+            rtl: parse("(!out_valid) until in_valid @clk_pos"),
+            class: PropertyClass::AtCompatible,
+        },
+        SuiteEntry {
+            name: "f6",
+            intent: "the one-cycle prediction is honoured",
+            rtl: parse("always (!res_next_cycle || next out_valid) @clk_pos"),
+            class: PropertyClass::ReviewExpectedFail,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_parseable_properties() {
+        let s = suite();
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().all(|e| e.name.starts_with('f')));
+    }
+}

@@ -1,0 +1,217 @@
+//! The FIR TLM models: cycle-accurate and approximately-timed.
+
+use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use tlmkit::{CodingStyle, Transaction, TransactionBus};
+
+use super::core::{reference, FirCore, FirMutation};
+use super::workload::FirWorkload;
+use crate::CLOCK_PERIOD_NS;
+
+/// Mirror signals preserved at TLM-CA (full protocol).
+pub const TLM_CA_SIGNALS: &[&str] =
+    &["in_valid", "sample", "result", "out_valid", "res_next_cycle"];
+
+/// Mirror signals preserved at TLM-AT (prediction output abstracted).
+pub const TLM_AT_SIGNALS: &[&str] = &["in_valid", "sample", "result", "out_valid"];
+
+/// A fully wired TLM simulation of the FIR filter.
+pub struct TlmBuilt {
+    /// The simulation, ready to run.
+    pub sim: Simulation,
+    /// The transaction observation channel.
+    pub bus: TransactionBus,
+    /// Time by which every sample has retired.
+    pub end_ns: u64,
+}
+
+impl TlmBuilt {
+    /// Runs the simulation to its end time and returns the kernel stats.
+    pub fn run(&mut self) -> desim::SimStats {
+        self.sim.run_until(SimTime::from_ns(self.end_ns))
+    }
+}
+
+struct FirTlmCa {
+    bus: TransactionBus,
+    core: FirCore,
+    workload: FirWorkload,
+    edge: u64,
+    last_edge: u64,
+    in_valid: SignalId,
+    sample: SignalId,
+    result: SignalId,
+    out_valid: SignalId,
+    res_nc: SignalId,
+}
+
+impl Component for FirTlmCa {
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+        self.edge += 1;
+        let s = self.workload.sample_at_edge(self.edge);
+        let valid = s.is_some();
+        let o = self.core.step(valid, s.unwrap_or(0));
+        ctx.write(self.in_valid, u64::from(valid));
+        if let Some(v) = s {
+            ctx.write(self.sample, v);
+        }
+        ctx.write(self.result, o.result);
+        ctx.write(self.out_valid, u64::from(o.out_valid));
+        ctx.write(self.res_nc, u64::from(o.res_next_cycle));
+        let tx = if valid {
+            Transaction::write(0, s.unwrap_or(0), ev.time)
+        } else {
+            Transaction::read(0, o.result, ev.time)
+        };
+        self.bus.publish(ctx, tx);
+        if self.edge < self.last_edge {
+            ctx.schedule_self(CLOCK_PERIOD_NS, 0);
+        }
+    }
+}
+
+/// Builds the FIR TLM-CA simulation for a workload.
+#[must_use]
+pub fn build_tlm_ca(workload: &FirWorkload, mutation: FirMutation) -> TlmBuilt {
+    let mut sim = Simulation::new();
+    let bus = TransactionBus::new();
+    let in_valid = sim.add_signal("in_valid", 0);
+    let sample = sim.add_signal("sample", 0);
+    let result = sim.add_signal("result", 0);
+    let out_valid = sim.add_signal("out_valid", 0);
+    let res_nc = sim.add_signal("res_next_cycle", 0);
+    let model = sim.add_component(FirTlmCa {
+        bus: bus.clone(),
+        core: FirCore::new(mutation),
+        workload: workload.clone(),
+        edge: 0,
+        last_edge: workload.total_edges(),
+        in_valid,
+        sample,
+        result,
+        out_valid,
+        res_nc,
+    });
+    sim.schedule(SimTime::from_ns(CLOCK_PERIOD_NS), model, 0);
+    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+}
+
+const OP_WRITE: u64 = 0;
+const OP_READ: u64 = 1;
+
+/// The FIR TLM-AT model: one write per sample and one read at the RTL
+/// completion time (`t + 5 × period`); the filter state is a functional
+/// delay line.
+struct FirTlmAt {
+    bus: TransactionBus,
+    mutation: FirMutation,
+    workload: FirWorkload,
+    history: [u64; 4],
+    in_valid: SignalId,
+    sample: SignalId,
+    result: SignalId,
+    out_valid: SignalId,
+}
+
+impl Component for FirTlmAt {
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+        let op = ev.kind & 1;
+        let index = (ev.kind >> 1) as usize;
+        match op {
+            OP_WRITE => {
+                let s = self.workload.samples[index];
+                ctx.write(self.in_valid, 1);
+                ctx.write(self.sample, s);
+                ctx.write(self.out_valid, 0);
+                self.bus.publish(ctx, Transaction::write(0, s, ev.time));
+                let delay = match self.mutation {
+                    FirMutation::LatencyShort => 4,
+                    _ => 5,
+                } * CLOCK_PERIOD_NS;
+                ctx.schedule_self(delay, (ev.kind & !1) | OP_READ);
+            }
+            _ => {
+                let s = self.workload.samples[index];
+                self.history.rotate_right(1);
+                self.history[0] = s;
+                let mut r = reference(&self.history);
+                if matches!(self.mutation, FirMutation::DropTap) {
+                    r = r.saturating_sub(u64::from(super::core::TAPS[0]) * self.history[0] >> 8);
+                }
+                ctx.write(self.in_valid, 0);
+                ctx.write(self.result, r);
+                ctx.write(self.out_valid, 1);
+                self.bus.publish(ctx, Transaction::read(0, r, ev.time));
+            }
+        }
+    }
+}
+
+/// Builds the FIR TLM-AT simulation for a workload.
+///
+/// # Panics
+///
+/// Panics if `style` is [`CodingStyle::CycleAccurate`].
+#[must_use]
+pub fn build_tlm_at(workload: &FirWorkload, mutation: FirMutation, style: CodingStyle) -> TlmBuilt {
+    assert!(
+        !matches!(style, CodingStyle::CycleAccurate),
+        "use build_tlm_ca for the cycle-accurate style"
+    );
+    let mut sim = Simulation::new();
+    let bus = TransactionBus::new();
+    let in_valid = sim.add_signal("in_valid", 0);
+    let sample = sim.add_signal("sample", 0);
+    let result = sim.add_signal("result", 0);
+    let out_valid = sim.add_signal("out_valid", 0);
+    let model = sim.add_component(FirTlmAt {
+        bus: bus.clone(),
+        mutation,
+        workload: workload.clone(),
+        history: [0; 4],
+        in_valid,
+        sample,
+        result,
+        out_valid,
+    });
+    for i in 0..workload.samples.len() {
+        sim.schedule(
+            SimTime::from_ns(workload.request_time_ns(i)),
+            model,
+            ((i as u64) << 1) | OP_WRITE,
+        );
+    }
+    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl::SignalEnv;
+    use tlmkit::TxTraceRecorder;
+
+    #[test]
+    fn ca_matches_rtl_completion_instants() {
+        let w = FirWorkload::new(vec![512, 64]);
+        let mut built = build_tlm_ca(&w, FirMutation::None);
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_CA_SIGNALS);
+        built.run();
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        // First sample at edge 2 → result at edge 7 (t = 70).
+        let pos = trace.position_at_time(70).expect("transaction at 70ns");
+        assert_eq!(trace.steps()[pos].signal("out_valid"), Some(1));
+        assert_eq!(trace.steps()[pos].signal("result"), Some(reference(&[512, 0, 0, 0])));
+    }
+
+    #[test]
+    fn at_two_transactions_per_sample_with_matching_values() {
+        let w = FirWorkload::new(vec![512, 64]);
+        let mut built = build_tlm_at(&w, FirMutation::None, CodingStyle::ApproximatelyTimedLoose);
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
+        built.run();
+        assert_eq!(built.bus.published(), 4);
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        assert_eq!(trace.steps()[1].time_ns, 70);
+        assert_eq!(trace.steps()[1].signal("result"), Some(reference(&[512, 0, 0, 0])));
+        assert_eq!(trace.steps()[3].signal("result"), Some(reference(&[64, 512, 0, 0])));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-suite metadata shared by both IPs.
+
+use psl::ClockedProperty;
+
+/// Expected behaviour of a property across abstraction levels — the
+/// classification discussed in DESIGN.md §5b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyClass {
+    /// The abstracted property only references instants where the TLM-AT
+    /// model produces transactions (write submission / read completion):
+    /// it must pass at RTL, TLM-CA and TLM-AT.
+    AtCompatible,
+    /// The abstracted property references intermediate instants that a
+    /// loose TLM-AT model never produces: it must pass at RTL and TLM-CA,
+    /// and — per the strict Def. III.3 semantics — fail at TLM-AT with a
+    /// "no event at required instant" diagnostic.
+    CaOnly,
+    /// Signal abstraction dropped a disjunct (Section III-B): the result
+    /// is *not* a logical consequence of the original, the abstraction
+    /// flags it for review, and it is expected to fail at TLM until
+    /// manually refined.
+    ReviewExpectedFail,
+    /// Signal abstraction deletes the whole property: nothing to check at
+    /// TLM.
+    DeletedAtTlm,
+}
+
+/// One property of an IP's verification suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Short identifier (`p1` … `p9`, `c1` … `c12`).
+    pub name: &'static str,
+    /// What the property asserts, in prose.
+    pub intent: &'static str,
+    /// The RTL property.
+    pub rtl: ClockedProperty,
+    /// Cross-level classification.
+    pub class: PropertyClass,
+}
+
+impl SuiteEntry {
+    /// `(name, property)` pair as the checker installers expect.
+    #[must_use]
+    pub fn named(&self) -> (String, ClockedProperty) {
+        (self.name.to_owned(), self.rtl.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_pairs() {
+        let e = SuiteEntry {
+            name: "p1",
+            intent: "demo",
+            rtl: "always rdy @clk_pos".parse().unwrap(),
+            class: PropertyClass::AtCompatible,
+        };
+        let (n, p) = e.named();
+        assert_eq!(n, "p1");
+        assert_eq!(p, e.rtl);
+    }
+}

@@ -1,0 +1,153 @@
+//! Pretty-printing of properties and contexts.
+//!
+//! The printer emits the same concrete syntax the [`parser`](crate::parser)
+//! accepts, fully parenthesizing compound subterms so that
+//! `parse(print(p)) == p` for every property (validated by property tests).
+
+use std::fmt;
+
+use crate::ast::{ClockedProperty, Property};
+use crate::context::EvalContext;
+
+/// Writes `p`, wrapping it in parentheses unless it is a leaf.
+fn write_child(f: &mut fmt::Formatter<'_>, p: &Property) -> fmt::Result {
+    match p {
+        Property::Const(_) | Property::Atom(_) => write!(f, "{p}"),
+        _ => write!(f, "({p})"),
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::Const(true) => f.write_str("true"),
+            Property::Const(false) => f.write_str("false"),
+            Property::Atom(a) => write!(f, "{a}"),
+            Property::Not(p) => {
+                f.write_str("!")?;
+                write_child(f, p)
+            }
+            Property::And(a, b) => {
+                write_child(f, a)?;
+                f.write_str(" && ")?;
+                write_child(f, b)
+            }
+            Property::Or(a, b) => {
+                write_child(f, a)?;
+                f.write_str(" || ")?;
+                write_child(f, b)
+            }
+            Property::Implies(a, b) => {
+                write_child(f, a)?;
+                f.write_str(" -> ")?;
+                write_child(f, b)
+            }
+            Property::Next { n: 1, inner } => {
+                f.write_str("next ")?;
+                write_child(f, inner)
+            }
+            Property::Next { n, inner } => {
+                write!(f, "next[{n}] ")?;
+                write_child(f, inner)
+            }
+            Property::NextEt { tau, eps_ns, inner } => {
+                write!(f, "next_et[{tau}, {eps_ns}] ")?;
+                write_child(f, inner)
+            }
+            Property::Until(a, b) => {
+                write_child(f, a)?;
+                f.write_str(" until ")?;
+                write_child(f, b)
+            }
+            Property::Release(a, b) => {
+                write_child(f, a)?;
+                f.write_str(" release ")?;
+                write_child(f, b)
+            }
+            Property::Always(p) => {
+                f.write_str("always ")?;
+                write_child(f, p)
+            }
+            Property::Eventually(p) => {
+                f.write_str("eventually ")?;
+                write_child(f, p)
+            }
+        }
+    }
+}
+
+impl fmt::Display for EvalContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalContext::Clock { edge, guard: None } => write!(f, "@{}", edge.symbol()),
+            EvalContext::Clock { edge, guard: Some(g) } => {
+                write!(f, "@({} && ", edge.symbol())?;
+                write_child(f, g)?;
+                f.write_str(")")
+            }
+            EvalContext::Transaction { guard: None } => f.write_str("@T_b"),
+            EvalContext::Transaction { guard: Some(g) } => {
+                f.write_str("@(T_b && ")?;
+                write_child(f, g)?;
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ClockedProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.property, self.context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::CmpOp;
+    use crate::context::ClockEdge;
+
+    #[test]
+    fn leaf_forms() {
+        assert_eq!(Property::t().to_string(), "true");
+        assert_eq!(Property::f().to_string(), "false");
+        assert_eq!(Property::bool_signal("rdy").to_string(), "rdy");
+    }
+
+    #[test]
+    fn paper_p1_prints_in_full_parens() {
+        let p1 = Property::always(
+            Property::not(Property::bool_signal("ds").and(Property::cmp("indata", CmpOp::Eq, 0)))
+                .or(Property::next_n(17, Property::cmp("out", CmpOp::Ne, 0))),
+        );
+        assert_eq!(
+            p1.to_string(),
+            "always ((!(ds && (indata == 0))) || (next[17] (out != 0)))"
+        );
+    }
+
+    #[test]
+    fn next_et_prints_tau_and_eps() {
+        let q = Property::next_et(1, 170, Property::cmp("out", CmpOp::Ne, 0));
+        assert_eq!(q.to_string(), "next_et[1, 170] (out != 0)");
+    }
+
+    #[test]
+    fn contexts_print() {
+        assert_eq!(EvalContext::clk_pos().to_string(), "@clk_pos");
+        assert_eq!(EvalContext::clk_true().to_string(), "@true");
+        assert_eq!(EvalContext::tb().to_string(), "@T_b");
+        let g = Property::cmp("mode", CmpOp::Eq, 1);
+        assert_eq!(
+            EvalContext::clock_guarded(ClockEdge::Neg, g.clone()).to_string(),
+            "@(clk_neg && (mode == 1))"
+        );
+        assert_eq!(EvalContext::tb_guarded(g).to_string(), "@(T_b && (mode == 1))");
+    }
+
+    #[test]
+    fn clocked_property_prints_with_context() {
+        let p = ClockedProperty::new(Property::bool_signal("rdy"), EvalContext::clk_pos());
+        assert_eq!(p.to_string(), "rdy @clk_pos");
+    }
+}

@@ -1,0 +1,308 @@
+//! Tokenizer for the property surface syntax.
+
+use std::fmt;
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub pos: usize,
+}
+
+/// Lexical tokens of the property language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (`always`, `ds`, `clk_pos`, …).
+    Ident(String),
+    /// Unsigned integer literal (decimal or `0x…` hexadecimal).
+    Int(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `@`
+    At,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Int(v) => write!(f, "`{v}`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::LBracket => f.write_str("`[`"),
+            Token::RBracket => f.write_str("`]`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Bang => f.write_str("`!`"),
+            Token::AndAnd => f.write_str("`&&`"),
+            Token::OrOr => f.write_str("`||`"),
+            Token::Arrow => f.write_str("`->`"),
+            Token::EqEq => f.write_str("`==`"),
+            Token::NotEq => f.write_str("`!=`"),
+            Token::Lt => f.write_str("`<`"),
+            Token::Le => f.write_str("`<=`"),
+            Token::Gt => f.write_str("`>`"),
+            Token::Ge => f.write_str("`>=`"),
+            Token::At => f.write_str("`@`"),
+        }
+    }
+}
+
+/// Error produced when the source contains a character outside the lexicon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub found: char,
+    /// Byte offset of the offending character.
+    pub pos: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` at byte {}", self.found, self.pos)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Splits `src` into tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on the first character that cannot start a token.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+                continue;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, pos });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, pos });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, pos });
+                i += 1;
+            }
+            '@' => {
+                out.push(Spanned { token: Token::At, pos });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::NotEq, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Bang, pos });
+                    i += 1;
+                }
+            }
+            '&' if bytes.get(i + 1) == Some(&b'&') => {
+                out.push(Spanned { token: Token::AndAnd, pos });
+                i += 2;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Spanned { token: Token::OrOr, pos });
+                i += 2;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Spanned { token: Token::Arrow, pos });
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { token: Token::EqEq, pos });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Le, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, pos });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ge, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, pos });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let (value, next) = lex_number(src, i);
+                out.push(Spanned { token: Token::Int(value), pos });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned { token: Token::Ident(src[start..i].to_owned()), pos });
+            }
+            other => return Err(LexError { found: other, pos }),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(src: &str, start: usize) -> (u64, usize) {
+    let bytes = src.as_bytes();
+    if bytes.get(start) == Some(&b'0')
+        && matches!(bytes.get(start + 1), Some(&b'x') | Some(&b'X'))
+    {
+        let mut i = start + 2;
+        let mut value: u64 = 0;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+            value = value.wrapping_mul(16)
+                + u64::from((bytes[i] as char).to_digit(16).expect("hex digit"));
+            i += 1;
+        }
+        (value, i)
+    } else {
+        let mut i = start;
+        let mut value: u64 = 0;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            value = value.wrapping_mul(10) + u64::from(bytes[i] - b'0');
+            i += 1;
+        }
+        (value, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            tokens("! && || -> == != < <= > >= @ ( ) [ ] ,"),
+            vec![
+                Token::Bang,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Arrow,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::At,
+                Token::LParen,
+                Token::RParen,
+                Token::LBracket,
+                Token::RBracket,
+                Token::Comma,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            tokens("next_et[1, 170] out != 0x2A"),
+            vec![
+                Token::Ident("next_et".into()),
+                Token::LBracket,
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(170),
+                Token::RBracket,
+                Token::Ident("out".into()),
+                Token::NotEq,
+                Token::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn not_equal_vs_bang() {
+        assert_eq!(tokens("!a != 1"), vec![
+            Token::Bang,
+            Token::Ident("a".into()),
+            Token::NotEq,
+            Token::Int(1),
+        ]);
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        assert_eq!(tokens("T_b rdy_next_cycle _x"), vec![
+            Token::Ident("T_b".into()),
+            Token::Ident("rdy_next_cycle".into()),
+            Token::Ident("_x".into()),
+        ]);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("a $ b").unwrap_err();
+        assert_eq!(err.found, '$');
+        assert_eq!(err.pos, 2);
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! PSL/LTL property language frontend.
+//!
+//! This crate implements the property-language substrate of the DATE 2015
+//! paper *"RTL property abstraction for TLM assertion-based verification"*:
+//! the linear-temporal-logic subset of PSL (Def. II.1 of the paper) extended
+//! with the paper's `next_ε^τ` operator (Def. III.3), clock contexts
+//! (`@clk_pos`, …) and transaction contexts (`@T_b`).
+//!
+//! It provides:
+//!
+//! - an [`ast::Property`] tree with convenient builders,
+//! - a concrete syntax with a [`parser`] and a round-trippable
+//!   pretty-printer ([`std::fmt::Display`]),
+//! - negation normal form ([`nnf`], Def. II.1),
+//! - the *push-ahead* procedure ([`push_ahead`], Section III-A),
+//! - finite-trace semantics ([`trace`]) used as the test oracle for
+//!   checker synthesis and for validating Theorems III.1 / III.2,
+//! - PSL simple-subset validation ([`subset`]).
+//!
+//! # Example
+//!
+//! ```
+//! use psl::ClockedProperty;
+//!
+//! // Property p1 of the paper (Fig. 3), for a DES56 RTL model:
+//! let p1: ClockedProperty =
+//!     "always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos"
+//!         .parse()?;
+//! assert_eq!(p1.to_string(),
+//!     "always ((!(ds && (indata == 0))) || (next[17] (out != 0))) @clk_pos");
+//! # Ok::<(), psl::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod atom;
+pub mod context;
+pub mod lexer;
+pub mod nnf;
+pub mod parser;
+pub mod push_ahead;
+pub mod subset;
+pub mod trace;
+
+mod display;
+
+pub use ast::{ClockedProperty, Property};
+pub use atom::{Atom, CmpOp, SignalEnv};
+pub use context::{ClockEdge, EvalContext};
+pub use parser::ParseError;
+pub use trace::{EvalError, Step, Trace};

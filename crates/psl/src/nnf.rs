@@ -1,0 +1,215 @@
+//! Negation normal form (step 1 of Methodology III.1).
+//!
+//! Def. II.1 of the paper defines the LTL grammar in negation normal form:
+//! negation may only be applied to atomic propositions. [`to_nnf`] rewrites
+//! an arbitrary property into that form using the classical dualities:
+//!
+//! ```text
+//! !(p && q)      = !p || !q            !(p || q)      = !p && !q
+//! !(next[n] p)   = next[n] !p          !(p until q)   = !p release !q
+//! !(p release q) = !p until !q         !(always p)    = eventually !p
+//! !(eventually p)= always !p           p -> q         = !p || q
+//! ```
+//!
+//! Negated comparison atoms are folded into the complementary comparison
+//! (`!(a < b)` becomes `a >= b`), so the only surviving negations wrap
+//! boolean-signal atoms.
+
+use crate::ast::Property;
+use crate::atom::Atom;
+
+/// Rewrites `p` into negation normal form.
+///
+/// The result contains no [`Property::Implies`] node and every
+/// [`Property::Not`] wraps a boolean-signal atom. The transformation
+/// preserves trace semantics (validated by property tests against
+/// [`crate::trace`]).
+///
+/// ```
+/// use psl::{nnf::to_nnf, Property};
+///
+/// let p: Property = "!(a && next b)".parse()?;
+/// assert_eq!(to_nnf(&p).to_string(), "(!a) || (next (!b))");
+/// # Ok::<(), psl::ParseError>(())
+/// ```
+#[must_use]
+pub fn to_nnf(p: &Property) -> Property {
+    rewrite(p, false)
+}
+
+/// True if `p` is in negation normal form: no implication and negation only
+/// on atoms.
+#[must_use]
+pub fn is_nnf(p: &Property) -> bool {
+    match p {
+        Property::Const(_) | Property::Atom(_) => true,
+        Property::Not(inner) => matches!(**inner, Property::Atom(_)),
+        Property::Implies(..) => false,
+        Property::Next { inner, .. }
+        | Property::NextEt { inner, .. }
+        | Property::Always(inner)
+        | Property::Eventually(inner) => is_nnf(inner),
+        Property::And(a, b)
+        | Property::Or(a, b)
+        | Property::Until(a, b)
+        | Property::Release(a, b) => is_nnf(a) && is_nnf(b),
+    }
+}
+
+/// Rewrites `p` under `negate` pending negations.
+fn rewrite(p: &Property, negate: bool) -> Property {
+    match p {
+        Property::Const(b) => Property::Const(*b != negate),
+        Property::Atom(a) => {
+            if negate {
+                negate_atom(a)
+            } else {
+                Property::Atom(a.clone())
+            }
+        }
+        Property::Not(inner) => rewrite(inner, !negate),
+        Property::And(a, b) => {
+            let (l, r) = (rewrite(a, negate), rewrite(b, negate));
+            if negate {
+                l.or(r)
+            } else {
+                l.and(r)
+            }
+        }
+        Property::Or(a, b) => {
+            let (l, r) = (rewrite(a, negate), rewrite(b, negate));
+            if negate {
+                l.and(r)
+            } else {
+                l.or(r)
+            }
+        }
+        Property::Implies(a, b) => {
+            // p -> q == !p || q; under negation: p && !q.
+            let (l, r) = (rewrite(a, !negate), rewrite(b, negate));
+            if negate {
+                l.and(r)
+            } else {
+                l.or(r)
+            }
+        }
+        Property::Next { n, inner } => Property::next_n(*n, rewrite(inner, negate)),
+        Property::NextEt { tau, eps_ns, inner } => {
+            Property::next_et(*tau, *eps_ns, rewrite(inner, negate))
+        }
+        Property::Until(a, b) => {
+            let (l, r) = (rewrite(a, negate), rewrite(b, negate));
+            if negate {
+                l.release(r)
+            } else {
+                l.until(r)
+            }
+        }
+        Property::Release(a, b) => {
+            let (l, r) = (rewrite(a, negate), rewrite(b, negate));
+            if negate {
+                l.until(r)
+            } else {
+                l.release(r)
+            }
+        }
+        Property::Always(inner) => {
+            let i = rewrite(inner, negate);
+            if negate {
+                Property::eventually(i)
+            } else {
+                Property::always(i)
+            }
+        }
+        Property::Eventually(inner) => {
+            let i = rewrite(inner, negate);
+            if negate {
+                Property::always(i)
+            } else {
+                Property::eventually(i)
+            }
+        }
+    }
+}
+
+/// The negation of an atom as an NNF property: comparison atoms flip their
+/// operator; boolean-signal atoms stay wrapped in `!`.
+fn negate_atom(a: &Atom) -> Property {
+    match a {
+        Atom::Bool(_) => Property::not(Property::Atom(a.clone())),
+        Atom::Cmp { signal, op, value } => {
+            Property::Atom(Atom::cmp(signal.clone(), op.negated(), *value))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nnf(src: &str) -> String {
+        to_nnf(&src.parse::<Property>().unwrap()).to_string()
+    }
+
+    #[test]
+    fn pushes_negation_through_booleans() {
+        assert_eq!(nnf("!(a && b)"), "(!a) || (!b)");
+        assert_eq!(nnf("!(a || b)"), "(!a) && (!b)");
+        assert_eq!(nnf("!!a"), "a");
+    }
+
+    #[test]
+    fn eliminates_implication() {
+        assert_eq!(nnf("a -> b"), "(!a) || b");
+        assert_eq!(nnf("!(a -> b)"), "a && (!b)");
+    }
+
+    #[test]
+    fn dualizes_temporal_operators() {
+        assert_eq!(nnf("!(next[3] a)"), "next[3] (!a)");
+        assert_eq!(nnf("!(a until b)"), "(!a) release (!b)");
+        assert_eq!(nnf("!(a release b)"), "(!a) until (!b)");
+        assert_eq!(nnf("!(always a)"), "eventually (!a)");
+        assert_eq!(nnf("!(eventually a)"), "always (!a)");
+    }
+
+    #[test]
+    fn folds_negated_comparisons() {
+        assert_eq!(nnf("!(out == 0)"), "(out != 0)");
+        assert_eq!(nnf("!(out < 4)"), "(out >= 4)");
+    }
+
+    #[test]
+    fn negates_constants() {
+        assert_eq!(nnf("!true"), "false");
+        assert_eq!(nnf("!false"), "true");
+    }
+
+    #[test]
+    fn nnf_output_is_nnf() {
+        for src in [
+            "!(a && (b -> next c))",
+            "!(always (a until !(b release c)))",
+            "!!!(a -> (b -> c))",
+            "!(next_et[1, 10] a)",
+        ] {
+            let p: Property = src.parse().unwrap();
+            let n = to_nnf(&p);
+            assert!(is_nnf(&n), "{src} -> {n}");
+        }
+    }
+
+    #[test]
+    fn nnf_is_idempotent() {
+        let p: Property = "!(a && (b -> next c)) until !(always d)".parse().unwrap();
+        let once = to_nnf(&p);
+        assert_eq!(to_nnf(&once), once);
+    }
+
+    #[test]
+    fn already_nnf_is_unchanged() {
+        let p: Property = "always ((!ds) || (next[17] (out != 0)))".parse().unwrap();
+        assert!(is_nnf(&p));
+        assert_eq!(to_nnf(&p), p);
+    }
+}

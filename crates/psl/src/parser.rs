@@ -1,0 +1,539 @@
+//! Recursive-descent parser for the property surface syntax.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! clocked   := property ('@' context)?
+//! property  := implies
+//! implies   := untilrel ('->' implies)?                 (right-assoc)
+//! untilrel  := or (('until' | 'release') or)*           (left-assoc)
+//! or        := and ('||' and)*
+//! and       := unary ('&&' unary)*
+//! unary     := '!' unary
+//!            | 'next' ('[' INT ']')? unary
+//!            | 'next_et' '[' INT ',' INT ']' unary
+//!            | 'always' unary
+//!            | 'never' unary              (sugar: always !p)
+//!            | 'eventually' unary
+//!            | primary
+//! primary   := 'true' | 'false' | '(' property ')' | atom
+//! atom      := IDENT (('==' | '!=' | '<' | '<=' | '>' | '>=') INT)?
+//! context   := 'clk' | 'clk_pos' | 'clk_neg' | 'true' | 'T_b'
+//!            | '(' context_head '&&' property ')'
+//! ```
+//!
+//! Boolean operators bind tighter than `until`/`release`, matching PSL.
+//! Keywords cannot be used as signal names.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ast::{ClockedProperty, Property};
+use crate::atom::{Atom, CmpOp};
+use crate::context::{ClockEdge, EvalContext};
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// Keywords of the language; rejected as signal names.
+const KEYWORDS: &[&str] = &[
+    "always",
+    "never",
+    "eventually",
+    "next",
+    "next_et",
+    "until",
+    "release",
+    "true",
+    "false",
+];
+
+/// Error produced when a property fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset in the source where the failure was detected.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.pos)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: format!("unexpected character `{}`", e.found), pos: e.pos }
+    }
+}
+
+/// Parses a bare property (no evaluation context).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing tokens.
+///
+/// ```
+/// let p = psl::parser::parse_property("!ds || next[17] (out != 0)")?;
+/// assert_eq!(p.signals(), vec!["ds", "out"]);
+/// # Ok::<(), psl::ParseError>(())
+/// ```
+pub fn parse_property(src: &str) -> Result<Property, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens: &tokens, idx: 0, len: src.len() };
+    let prop = p.property()?;
+    p.expect_end()?;
+    Ok(prop)
+}
+
+/// Parses a property followed by an optional `@` context (defaulting to the
+/// base clock context `@true` when absent).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing tokens.
+///
+/// ```
+/// let p = psl::parser::parse_clocked("always (!ds || next rdy) @clk_pos")?;
+/// assert!(p.context.is_clock());
+/// # Ok::<(), psl::ParseError>(())
+/// ```
+pub fn parse_clocked(src: &str) -> Result<ClockedProperty, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens: &tokens, idx: 0, len: src.len() };
+    let prop = p.property()?;
+    let context = if p.eat(&Token::At) {
+        p.context()?
+    } else {
+        EvalContext::clk_true()
+    };
+    p.expect_end()?;
+    Ok(ClockedProperty::new(prop, context))
+}
+
+impl FromStr for Property {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Property, ParseError> {
+        parse_property(s)
+    }
+}
+
+impl FromStr for ClockedProperty {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<ClockedProperty, ParseError> {
+        parse_clocked(s)
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    idx: usize,
+    len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.idx).map(|s| &s.token)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens.get(self.idx).map_or(self.len, |s| s.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.idx).map(|s| &s.token);
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {t}")))
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.error(format!("unexpected trailing {t}"))),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), pos: self.pos() }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(&Token::Int(v)) => {
+                self.idx += 1;
+                Ok(v)
+            }
+            other => {
+                let msg = match other {
+                    Some(t) => format!("expected integer, found {t}"),
+                    None => "expected integer, found end of input".to_owned(),
+                };
+                Err(self.error(msg))
+            }
+        }
+    }
+
+    fn property(&mut self) -> Result<Property, ParseError> {
+        self.implies()
+    }
+
+    fn implies(&mut self) -> Result<Property, ParseError> {
+        let lhs = self.until_release()?;
+        if self.eat(&Token::Arrow) {
+            let rhs = self.implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn until_release(&mut self) -> Result<Property, ParseError> {
+        let mut lhs = self.or()?;
+        loop {
+            let is_until = matches!(self.peek(), Some(Token::Ident(k)) if k == "until");
+            let is_release = matches!(self.peek(), Some(Token::Ident(k)) if k == "release");
+            if is_until {
+                self.idx += 1;
+                let rhs = self.or()?;
+                lhs = lhs.until(rhs);
+            } else if is_release {
+                self.idx += 1;
+                let rhs = self.or()?;
+                lhs = lhs.release(rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn or(&mut self) -> Result<Property, ParseError> {
+        let mut lhs = self.and()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Property, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Property, ParseError> {
+        if self.eat(&Token::Bang) {
+            let p = self.unary()?;
+            return Ok(Property::not(p));
+        }
+        if let Some(Token::Ident(k)) = self.peek() {
+            match k.as_str() {
+                "next" => {
+                    self.idx += 1;
+                    let n = if self.eat(&Token::LBracket) {
+                        let n = self.int()?;
+                        self.expect(&Token::RBracket)?;
+                        u32::try_from(n)
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| self.error("next[n] requires 1 <= n <= u32::MAX"))?
+                    } else {
+                        1
+                    };
+                    let inner = self.unary()?;
+                    return Ok(Property::next_n(n, inner));
+                }
+                "next_et" => {
+                    self.idx += 1;
+                    self.expect(&Token::LBracket)?;
+                    let tau = self.int()?;
+                    let tau = u32::try_from(tau)
+                        .map_err(|_| self.error("next_et tau out of range"))?;
+                    self.expect(&Token::Comma)?;
+                    let eps = self.int()?;
+                    self.expect(&Token::RBracket)?;
+                    let inner = self.unary()?;
+                    return Ok(Property::next_et(tau, eps, inner));
+                }
+                "always" => {
+                    self.idx += 1;
+                    let inner = self.unary()?;
+                    return Ok(Property::always(inner));
+                }
+                // PSL's `never p` is sugar for `always !p`.
+                "never" => {
+                    self.idx += 1;
+                    let inner = self.unary()?;
+                    return Ok(Property::always(Property::not(inner)));
+                }
+                "eventually" => {
+                    self.idx += 1;
+                    let inner = self.unary()?;
+                    return Ok(Property::eventually(inner));
+                }
+                _ => {}
+            }
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Property, ParseError> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.idx += 1;
+                let p = self.property()?;
+                self.expect(&Token::RParen)?;
+                Ok(p)
+            }
+            Some(Token::Ident(k)) if k == "true" => {
+                self.idx += 1;
+                Ok(Property::t())
+            }
+            Some(Token::Ident(k)) if k == "false" => {
+                self.idx += 1;
+                Ok(Property::f())
+            }
+            Some(Token::Ident(name)) => {
+                if KEYWORDS.contains(&name.as_str()) {
+                    return Err(self.error(format!("keyword `{name}` cannot start a term here")));
+                }
+                let name = name.clone();
+                self.idx += 1;
+                let op = match self.peek() {
+                    Some(Token::EqEq) => Some(CmpOp::Eq),
+                    Some(Token::NotEq) => Some(CmpOp::Ne),
+                    Some(Token::Lt) => Some(CmpOp::Lt),
+                    Some(Token::Le) => Some(CmpOp::Le),
+                    Some(Token::Gt) => Some(CmpOp::Gt),
+                    Some(Token::Ge) => Some(CmpOp::Ge),
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    self.idx += 1;
+                    let value = self.int()?;
+                    Ok(Property::Atom(Atom::cmp(name, op, value)))
+                } else {
+                    Ok(Property::Atom(Atom::bool(name)))
+                }
+            }
+            other => {
+                let msg = match other {
+                    Some(t) => format!("expected a property, found {t}"),
+                    None => "expected a property, found end of input".to_owned(),
+                };
+                Err(self.error(msg))
+            }
+        }
+    }
+
+    fn context(&mut self) -> Result<EvalContext, ParseError> {
+        if self.eat(&Token::LParen) {
+            let head = self.context_head()?;
+            self.expect(&Token::AndAnd)?;
+            let guard = self.property()?;
+            self.expect(&Token::RParen)?;
+            if !guard.is_boolean() {
+                return Err(self.error("context guard must be a boolean expression"));
+            }
+            Ok(match head {
+                ContextHead::Clock(edge) => EvalContext::Clock {
+                    edge,
+                    guard: Some(Box::new(guard)),
+                },
+                ContextHead::Transaction => EvalContext::Transaction {
+                    guard: Some(Box::new(guard)),
+                },
+            })
+        } else {
+            Ok(match self.context_head()? {
+                ContextHead::Clock(edge) => EvalContext::Clock { edge, guard: None },
+                ContextHead::Transaction => EvalContext::Transaction { guard: None },
+            })
+        }
+    }
+
+    fn context_head(&mut self) -> Result<ContextHead, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(k)) => match k.as_str() {
+                "clk" => Ok(ContextHead::Clock(ClockEdge::Any)),
+                "clk_pos" => Ok(ContextHead::Clock(ClockEdge::Pos)),
+                "clk_neg" => Ok(ContextHead::Clock(ClockEdge::Neg)),
+                "true" => Ok(ContextHead::Clock(ClockEdge::True)),
+                "T_b" => Ok(ContextHead::Transaction),
+                other => {
+                    let message =
+                        format!("unknown context `{other}` (expected clk, clk_pos, clk_neg, true or T_b)");
+                    Err(ParseError { message, pos: self.pos() })
+                }
+            },
+            _ => Err(self.error("expected a context after `@`")),
+        }
+    }
+}
+
+enum ContextHead {
+    Clock(ClockEdge),
+    Transaction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_p1() {
+        let p: Property = "always (!(ds && indata == 0) || next[17](out != 0))".parse().unwrap();
+        let expected = Property::always(
+            Property::not(Property::bool_signal("ds").and(Property::cmp("indata", CmpOp::Eq, 0)))
+                .or(Property::next_n(17, Property::cmp("out", CmpOp::Ne, 0))),
+        );
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn parses_paper_p2() {
+        let p: ClockedProperty =
+            "always (!ds || (next (!ds until next(rdy)))) @clk_pos".parse().unwrap();
+        let expected = Property::always(Property::not(Property::bool_signal("ds")).or(
+            Property::next(
+                Property::not(Property::bool_signal("ds"))
+                    .until(Property::next(Property::bool_signal("rdy"))),
+            ),
+        ));
+        assert_eq!(p.property, expected);
+        assert_eq!(p.context, EvalContext::clk_pos());
+    }
+
+    #[test]
+    fn parses_paper_q2_with_next_et() {
+        let q: ClockedProperty =
+            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b".parse().unwrap();
+        let expected = Property::always(Property::not(Property::bool_signal("ds")).or(
+            Property::next_et(1, 10, Property::not(Property::bool_signal("ds")))
+                .until(Property::next_et(2, 20, Property::bool_signal("rdy"))),
+        ));
+        assert_eq!(q.property, expected);
+        assert_eq!(q.context, EvalContext::tb());
+    }
+
+    #[test]
+    fn boolean_ops_bind_tighter_than_until() {
+        let p: Property = "a || b until c && d".parse().unwrap();
+        let expected = Property::bool_signal("a")
+            .or(Property::bool_signal("b"))
+            .until(Property::bool_signal("c").and(Property::bool_signal("d")));
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn implication_is_right_associative_and_lowest() {
+        let p: Property = "a -> b -> c".parse().unwrap();
+        let expected = Property::bool_signal("a")
+            .implies(Property::bool_signal("b").implies(Property::bool_signal("c")));
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn until_is_left_associative() {
+        let p: Property = "a until b until c".parse().unwrap();
+        let expected = Property::bool_signal("a")
+            .until(Property::bool_signal("b"))
+            .until(Property::bool_signal("c"));
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn default_context_is_base_clock() {
+        let p: ClockedProperty = "always rdy".parse().unwrap();
+        assert_eq!(p.context, EvalContext::clk_true());
+    }
+
+    #[test]
+    fn guarded_contexts() {
+        let p: ClockedProperty = "rdy @(clk_pos && mode == 1)".parse().unwrap();
+        assert_eq!(
+            p.context,
+            EvalContext::clock_guarded(ClockEdge::Pos, Property::cmp("mode", CmpOp::Eq, 1))
+        );
+        let q: ClockedProperty = "rdy @(T_b && mode == 1)".parse().unwrap();
+        assert_eq!(q.context, EvalContext::tb_guarded(Property::cmp("mode", CmpOp::Eq, 1)));
+    }
+
+    #[test]
+    fn rejects_temporal_guard() {
+        let err = "rdy @(clk_pos && next rdy)".parse::<ClockedProperty>().unwrap_err();
+        assert!(err.message.contains("boolean"), "{err}");
+    }
+
+    #[test]
+    fn rejects_keyword_as_signal() {
+        let err = "always && rdy".parse::<Property>().unwrap_err();
+        assert!(err.message.contains("property") || err.message.contains("keyword"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = "rdy rdy".parse::<Property>().unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_next_zero() {
+        let err = "next[0] rdy".parse::<Property>().unwrap_err();
+        assert!(err.message.contains("next[n]"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_context() {
+        let err = "rdy @bogus".parse::<ClockedProperty>().unwrap_err();
+        assert!(err.message.contains("unknown context"), "{err}");
+    }
+
+    #[test]
+    fn hex_literals() {
+        let p: Property = "out == 0xFF".parse().unwrap();
+        assert_eq!(p, Property::cmp("out", CmpOp::Eq, 255));
+    }
+
+    #[test]
+    fn never_desugars_to_always_not() {
+        let p: Property = "never (rdy && ds)".parse().unwrap();
+        let expected =
+            Property::always(Property::not(Property::bool_signal("rdy").and(Property::bool_signal("ds"))));
+        assert_eq!(p, expected);
+        // Round-trips through the desugared form.
+        assert_eq!(p.to_string().parse::<Property>().unwrap(), p);
+    }
+
+    #[test]
+    fn double_negation_parses() {
+        let p: Property = "!!rdy".parse().unwrap();
+        assert_eq!(p, Property::not(Property::not(Property::bool_signal("rdy"))));
+    }
+}

@@ -1,0 +1,198 @@
+//! PSL simple-subset validation.
+//!
+//! The *simple subset* of PSL (IEEE 1850, clause 4.4.4) restricts property
+//! composition so that "time moves forward from left to right through a
+//! property, as it does in a timing diagram", which is what makes checker
+//! generation easy (Section II of the paper). For the LTL fragment used
+//! here the relevant restrictions are:
+//!
+//! - negation applies only to boolean expressions;
+//! - the left operand of `until` is boolean;
+//! - the operands of `||` include at most one non-boolean property;
+//! - the left operand of `->` is boolean (implication is removed by NNF
+//!   before checking, so it is rejected here).
+//!
+//! The paper's push-ahead procedure may move `next` onto the left operand of
+//! `until` (see property `q2` in Fig. 3), so [`validate`] accepts a *relaxed*
+//! left operand: a boolean, or a `next`/`next_ε^τ` chain applied to a
+//! literal. This matches what the paper's checker generator consumes.
+
+use crate::ast::Property;
+
+/// A violation of the (relaxed) PSL simple subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimpleSubsetViolation {
+    /// Negation applied to a non-boolean property.
+    NonBooleanNegation {
+        /// Printed form of the negated operand.
+        operand: String,
+    },
+    /// `until` with a left operand that is neither boolean nor a
+    /// `next`-chained literal.
+    TemporalUntilLhs {
+        /// Printed form of the offending operand.
+        operand: String,
+    },
+    /// `||` with two non-boolean operands.
+    TwoTemporalOrOperands {
+        /// Printed form of the offending disjunction.
+        operands: String,
+    },
+    /// Implication present (run NNF first).
+    Implication,
+}
+
+impl std::fmt::Display for SimpleSubsetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimpleSubsetViolation::NonBooleanNegation { operand } => {
+                write!(f, "negation of non-boolean property `{operand}`")
+            }
+            SimpleSubsetViolation::TemporalUntilLhs { operand } => {
+                write!(f, "left operand of `until` must be boolean or a next-chained literal, found `{operand}`")
+            }
+            SimpleSubsetViolation::TwoTemporalOrOperands { operands } => {
+                write!(f, "`||` with two temporal operands `{operands}`")
+            }
+            SimpleSubsetViolation::Implication => {
+                f.write_str("implication must be eliminated (apply negation normal form first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimpleSubsetViolation {}
+
+/// Checks that `p` lies in the (relaxed) PSL simple subset.
+///
+/// # Errors
+///
+/// Returns the first [`SimpleSubsetViolation`] found in a pre-order walk.
+///
+/// ```
+/// use psl::{subset::validate, Property};
+///
+/// let ok: Property = "always (!ds || next[17] (out != 0))".parse()?;
+/// assert!(validate(&ok).is_ok());
+///
+/// let bad: Property = "always ((eventually a) || (eventually b))".parse()?;
+/// assert!(validate(&bad).is_err());
+/// # Ok::<(), psl::ParseError>(())
+/// ```
+pub fn validate(p: &Property) -> Result<(), SimpleSubsetViolation> {
+    match p {
+        Property::Const(_) | Property::Atom(_) => Ok(()),
+        Property::Not(inner) => {
+            if inner.is_boolean() {
+                Ok(())
+            } else {
+                Err(SimpleSubsetViolation::NonBooleanNegation { operand: inner.to_string() })
+            }
+        }
+        Property::Implies(..) => Err(SimpleSubsetViolation::Implication),
+        Property::And(a, b) => {
+            validate(a)?;
+            validate(b)
+        }
+        Property::Or(a, b) => {
+            if !a.is_boolean() && !b.is_boolean() {
+                return Err(SimpleSubsetViolation::TwoTemporalOrOperands {
+                    operands: p.to_string(),
+                });
+            }
+            validate(a)?;
+            validate(b)
+        }
+        Property::Next { inner, .. } | Property::NextEt { inner, .. } => validate(inner),
+        Property::Until(a, b) => {
+            if !is_relaxed_until_lhs(a) {
+                return Err(SimpleSubsetViolation::TemporalUntilLhs { operand: a.to_string() });
+            }
+            validate(a)?;
+            validate(b)
+        }
+        Property::Release(a, b) => {
+            // `release` in the simple subset is restricted symmetrically to
+            // until; we apply the same relaxed left-operand rule.
+            if !is_relaxed_until_lhs(a) {
+                return Err(SimpleSubsetViolation::TemporalUntilLhs { operand: a.to_string() });
+            }
+            validate(a)?;
+            validate(b)
+        }
+        Property::Always(inner) | Property::Eventually(inner) => validate(inner),
+    }
+}
+
+/// Boolean, or a `next`/`next_ε^τ` chain over a literal.
+fn is_relaxed_until_lhs(p: &Property) -> bool {
+    match p {
+        Property::Next { inner, .. } | Property::NextEt { inner, .. } => {
+            is_relaxed_until_lhs(inner)
+        }
+        _ => p.is_boolean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Result<(), SimpleSubsetViolation> {
+        validate(&src.parse::<Property>().unwrap())
+    }
+
+    #[test]
+    fn paper_properties_are_in_subset() {
+        assert!(check("always (!(ds && indata == 0) || next[17](out != 0))").is_ok());
+        assert!(check("always (!ds || (next(!ds) until next[2] rdy))").is_ok());
+        assert!(check("always (!ds || (next_et[1,10](!ds) until next_et[2,20] rdy))").is_ok());
+    }
+
+    #[test]
+    fn rejects_temporal_negation() {
+        assert!(matches!(
+            check("!(next a)"),
+            Err(SimpleSubsetViolation::NonBooleanNegation { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_implication() {
+        assert_eq!(check("a -> b"), Err(SimpleSubsetViolation::Implication));
+    }
+
+    #[test]
+    fn rejects_temporal_until_lhs() {
+        assert!(matches!(
+            check("(a until b) until c"),
+            Err(SimpleSubsetViolation::TemporalUntilLhs { .. })
+        ));
+        assert!(matches!(
+            check("(always a) release c"),
+            Err(SimpleSubsetViolation::TemporalUntilLhs { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_next_chain_until_lhs() {
+        assert!(check("(next[3] (!a)) until b").is_ok());
+        assert!(check("(next_et[1, 30] a) until b").is_ok());
+    }
+
+    #[test]
+    fn rejects_double_temporal_or() {
+        assert!(matches!(
+            check("(eventually a) || (eventually b)"),
+            Err(SimpleSubsetViolation::TwoTemporalOrOperands { .. })
+        ));
+        assert!(check("a || (eventually b)").is_ok());
+        assert!(check("(next[2] a) || b").is_ok());
+    }
+
+    #[test]
+    fn violations_display() {
+        let err = check("!(next a)").unwrap_err();
+        assert!(err.to_string().contains("negation"));
+    }
+}

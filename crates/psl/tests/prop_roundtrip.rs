@@ -1,0 +1,220 @@
+//! Property-based tests: printer/parser round-trip, NNF soundness and
+//! push-ahead soundness against the finite-trace oracle.
+
+use proptest::prelude::*;
+use psl::nnf::{is_nnf, to_nnf};
+use psl::push_ahead::{is_pushed, push_ahead};
+use psl::trace::{Step, Trace};
+use psl::{Atom, CmpOp, Property};
+
+/// Signals the generated formulas and traces talk about.
+const SIGNALS: &[&str] = &["a", "b", "c", "d"];
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        prop::sample::select(SIGNALS).prop_map(Atom::bool),
+        (
+            prop::sample::select(SIGNALS),
+            prop::sample::select(vec![
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge
+            ]),
+            0u64..4
+        )
+            .prop_map(|(s, op, v)| Atom::cmp(s, op, v)),
+    ]
+}
+
+fn arb_boolean() -> impl Strategy<Value = Property> {
+    let leaf = prop_oneof![
+        Just(Property::t()),
+        Just(Property::f()),
+        arb_atom().prop_map(Property::Atom),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Property::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+/// Arbitrary properties over the full grammar (excluding `next_ε^τ`, which
+/// never occurs in RTL input properties). Used for structural tests.
+fn arb_any_property() -> impl Strategy<Value = Property> {
+    let leaf = prop_oneof![
+        Just(Property::t()),
+        Just(Property::f()),
+        arb_atom().prop_map(Property::Atom),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Property::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (1u32..4, inner.clone()).prop_map(|(n, p)| Property::next_n(n, p)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.release(b)),
+            inner.clone().prop_map(Property::always),
+            inner.prop_map(Property::eventually),
+        ]
+    })
+}
+
+/// Simple-subset-style properties: negations and implication antecedents are
+/// boolean-only. This is the realistic RTL-property input class (the PSL
+/// simple subset imposes the same restriction) and the class on which NNF is
+/// an exact equivalence even on finite traces.
+fn arb_subset_property() -> impl Strategy<Value = Property> {
+    let leaf = prop_oneof![
+        Just(Property::t()),
+        Just(Property::f()),
+        arb_atom().prop_map(Property::Atom),
+        arb_boolean(),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (arb_boolean(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (1u32..4, inner.clone()).prop_map(|(n, p)| Property::next_n(n, p)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.release(b)),
+            inner.clone().prop_map(Property::always),
+            inner.prop_map(Property::eventually),
+        ]
+    })
+}
+
+/// Arbitrary NNF properties without implication, suitable for push-ahead.
+fn arb_nnf_property() -> impl Strategy<Value = Property> {
+    arb_subset_property().prop_map(|p| to_nnf(&p))
+}
+
+/// A clock-tick trace (10 ns period) with random values for all signals.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(prop::collection::vec(0u64..4, SIGNALS.len()), 1..20).prop_map(
+        |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    Step::new(
+                        10 + 10 * i as u64,
+                        SIGNALS.iter().zip(row).map(|(n, v)| ((*n).to_owned(), v)),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    /// `parse(print(p)) == p` for every property.
+    #[test]
+    fn print_parse_roundtrip(p in arb_any_property()) {
+        let printed = p.to_string();
+        let reparsed: Property = printed.parse().expect("printed property must reparse");
+        prop_assert_eq!(reparsed, p, "printed as {}", printed);
+    }
+
+    /// NNF output is in negation normal form, for the full grammar.
+    #[test]
+    fn nnf_output_is_nnf(p in arb_any_property()) {
+        prop_assert!(is_nnf(&to_nnf(&p)));
+    }
+
+    /// NNF preserves finite-trace semantics at every position for
+    /// simple-subset-style inputs (negations over booleans), in both the
+    /// neutral and the weak view.
+    #[test]
+    fn nnf_preserves_semantics(p in arb_subset_property(), t in arb_trace()) {
+        let n = to_nnf(&p);
+        for pos in 0..t.len() {
+            prop_assert_eq!(
+                t.eval(&p, pos).unwrap(),
+                t.eval(&n, pos).unwrap(),
+                "neutral view, position {} of {} vs {}", pos, &p, &n
+            );
+            prop_assert_eq!(
+                t.eval_weak(&p, pos).unwrap(),
+                t.eval_weak(&n, pos).unwrap(),
+                "weak view, position {} of {} vs {}", pos, &p, &n
+            );
+        }
+    }
+
+    /// Push-ahead output has all `next`s on literals.
+    #[test]
+    fn push_ahead_output_is_pushed(p in arb_nnf_property()) {
+        let out = push_ahead(&p).expect("NNF properties always push");
+        prop_assert!(is_pushed(&out), "{} -> {}", &p, &out);
+    }
+
+    /// Push-ahead preserves trace semantics: exactly, at every position,
+    /// under the weak view (the view under which the distribution rules are
+    /// equivalences on truncated traces).
+    #[test]
+    fn push_ahead_preserves_weak_semantics(p in arb_nnf_property(), t in arb_trace()) {
+        let out = push_ahead(&p).expect("NNF properties always push");
+        for pos in 0..t.len() {
+            prop_assert_eq!(
+                t.eval_weak(&p, pos).unwrap(),
+                t.eval_weak(&out, pos).unwrap(),
+                "position {} of {} vs {}", pos, &p, &out
+            );
+        }
+    }
+
+    /// Push-ahead preserves neutral-view semantics for *bounded* properties
+    /// evaluated with enough trace left for every obligation to complete —
+    /// the situation of a property that finishes before simulation ends.
+    #[test]
+    fn push_ahead_preserves_neutral_semantics_when_bounded(
+        p in arb_nnf_property(),
+        t in arb_trace(),
+    ) {
+        let out = push_ahead(&p).expect("NNF properties always push");
+        if let (Some(d1), Some(d2)) = (p.bounded_event_depth(), out.bounded_event_depth()) {
+            let depth = d1.max(d2) as usize;
+            for pos in 0..t.len().saturating_sub(depth) {
+                prop_assert_eq!(
+                    t.eval(&p, pos).unwrap(),
+                    t.eval(&out, pos).unwrap(),
+                    "position {} of {} vs {}", pos, &p, &out
+                );
+            }
+        }
+    }
+
+    /// NNF is idempotent.
+    #[test]
+    fn nnf_idempotent(p in arb_any_property()) {
+        let once = to_nnf(&p);
+        prop_assert_eq!(to_nnf(&once), once);
+    }
+
+    /// Push-ahead is idempotent.
+    #[test]
+    fn push_ahead_idempotent(p in arb_nnf_property()) {
+        let once = push_ahead(&p).unwrap();
+        prop_assert_eq!(push_ahead(&once).unwrap(), once);
+    }
+
+    /// The neutral and weak views agree on boolean formulas.
+    #[test]
+    fn views_agree_on_booleans(p in arb_boolean(), t in arb_trace()) {
+        for pos in 0..t.len() {
+            prop_assert_eq!(
+                t.eval(&p, pos).unwrap(),
+                t.eval_weak(&p, pos).unwrap(),
+            );
+        }
+    }
+}

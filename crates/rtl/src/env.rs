@@ -1,0 +1,139 @@
+//! Evaluating property atoms against kernel signals.
+
+use std::collections::HashMap;
+
+use desim::{SimCtx, SignalId, Simulation};
+use psl::SignalEnv;
+
+/// A name → [`SignalId`] map plus a signal reader, usable as a
+/// [`psl::SignalEnv`] for atom and guard evaluation.
+///
+/// Resolve the map once at install time with [`SignalMapEnv::resolve`];
+/// during simulation, wrap the current [`SimCtx`] with
+/// [`SignalMapEnv::with_ctx`].
+///
+/// ```
+/// use desim::Simulation;
+/// use psl::{Atom, SignalEnv};
+/// use rtlkit::SignalMapEnv;
+///
+/// let mut sim = Simulation::new();
+/// let rdy = sim.add_signal("rdy", 1);
+/// let map = SignalMapEnv::resolve(&sim, ["rdy"]).expect("rdy exists");
+/// let env = map.with_sim(&sim);
+/// assert_eq!(env.signal("rdy"), Some(1));
+/// assert!(Atom::bool("rdy").eval(&env).unwrap());
+/// # let _ = rdy;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SignalMapEnv {
+    map: HashMap<String, SignalId>,
+}
+
+impl SignalMapEnv {
+    /// Resolves each name against the simulation's signal registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first name that does not exist.
+    pub fn resolve<S: AsRef<str>>(
+        sim: &Simulation,
+        names: impl IntoIterator<Item = S>,
+    ) -> Result<SignalMapEnv, String> {
+        let mut map = HashMap::new();
+        for name in names {
+            let name = name.as_ref();
+            match sim.signal_id(name) {
+                Some(id) => {
+                    map.insert(name.to_owned(), id);
+                }
+                None => return Err(name.to_owned()),
+            }
+        }
+        Ok(SignalMapEnv { map })
+    }
+
+    /// The resolved id for `name`, if present.
+    #[must_use]
+    pub fn id(&self, name: &str) -> Option<SignalId> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of resolved signals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no signals were resolved.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Pairs the map with a live event context for atom evaluation.
+    #[must_use]
+    pub fn with_ctx<'a>(&'a self, ctx: &'a SimCtx<'a>) -> CtxEnv<'a> {
+        CtxEnv { map: self, ctx }
+    }
+
+    /// Pairs the map with a whole simulation (outside event handling).
+    #[must_use]
+    pub fn with_sim<'a>(&'a self, sim: &'a Simulation) -> SimEnv<'a> {
+        SimEnv { map: self, sim }
+    }
+
+    /// Iterates the resolved `(name, id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, SignalId)> {
+        self.map.iter().map(|(n, id)| (n.as_str(), *id))
+    }
+}
+
+/// [`SignalEnv`] view over a live [`SimCtx`].
+pub struct CtxEnv<'a> {
+    map: &'a SignalMapEnv,
+    ctx: &'a SimCtx<'a>,
+}
+
+impl SignalEnv for CtxEnv<'_> {
+    fn signal(&self, name: &str) -> Option<u64> {
+        self.map.id(name).map(|id| self.ctx.read(id))
+    }
+}
+
+/// [`SignalEnv`] view over a [`Simulation`] (for pre/post-run checks).
+pub struct SimEnv<'a> {
+    map: &'a SignalMapEnv,
+    sim: &'a Simulation,
+}
+
+impl SignalEnv for SimEnv<'_> {
+    fn signal(&self, name: &str) -> Option<u64> {
+        self.map.id(name).map(|id| self.sim.signal(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_reports_missing_name() {
+        let mut sim = Simulation::new();
+        sim.add_signal("a", 0);
+        let err = SignalMapEnv::resolve(&sim, ["a", "b"]).unwrap_err();
+        assert_eq!(err, "b");
+    }
+
+    #[test]
+    fn sim_env_reads_current_values() {
+        let mut sim = Simulation::new();
+        let a = sim.add_signal("a", 3);
+        let map = SignalMapEnv::resolve(&sim, ["a"]).unwrap();
+        assert_eq!(map.with_sim(&sim).signal("a"), Some(3));
+        assert_eq!(map.with_sim(&sim).signal("zzz"), None);
+        assert_eq!(map.id("a"), Some(a));
+        assert_eq!(map.len(), 1);
+        assert!(!map.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Value Change Dump (VCD, IEEE 1364) export of recorded traces.
+//!
+//! Converts a [`psl::Trace`] — as produced by
+//! [`WaveRecorder`](crate::WaveRecorder) or `tlmkit`'s transaction
+//! recorder — into a VCD document loadable by GTKWave and other waveform
+//! viewers, with one 64-bit wire per recorded signal.
+
+use std::io::{self, Write};
+
+use psl::trace::Trace;
+use psl::SignalEnv;
+
+/// Width, in bits, of every exported wire (signals are `u64` kernel-wide).
+const WIDTH: u32 = 64;
+
+/// Options for a VCD export.
+#[derive(Debug, Clone)]
+pub struct VcdOptions {
+    /// `$scope module <name>` wrapping the signals.
+    pub module: String,
+    /// Free-text `$comment` embedded in the header.
+    pub comment: String,
+}
+
+impl Default for VcdOptions {
+    fn default() -> VcdOptions {
+        VcdOptions {
+            module: "dut".to_owned(),
+            comment: "exported by rtlkit::vcd".to_owned(),
+        }
+    }
+}
+
+/// Generates the short printable VCD identifier for signal index `i`.
+fn ident(mut i: usize) -> String {
+    // Printable ASCII 33..=126, base-94, like commercial dumpers.
+    let mut out = String::new();
+    loop {
+        out.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Formats a value as a VCD binary vector token (`b1010 <id>`).
+fn binary(value: u64) -> String {
+    if value == 0 {
+        "b0".to_owned()
+    } else {
+        format!("b{value:b}")
+    }
+}
+
+/// Writes `trace` as a VCD document to `out`.
+///
+/// `signals` fixes the declaration order; every name must be present in
+/// every step of the trace. A `&mut` reference can be passed as the
+/// writer.
+///
+/// # Errors
+///
+/// Returns any I/O error from `out`, or [`io::ErrorKind::InvalidInput`]
+/// if a signal is missing from some step.
+///
+/// ```
+/// use psl::trace::{Step, Trace};
+/// use rtlkit::vcd::{write_vcd, VcdOptions};
+///
+/// let trace: Trace = [
+///     Step::new(10, [("clk", 1u64), ("rdy", 0)]),
+///     Step::new(20, [("clk", 0), ("rdy", 1)]),
+/// ].into_iter().collect();
+/// let mut out = Vec::new();
+/// write_vcd(&mut out, &trace, ["clk", "rdy"], &VcdOptions::default())?;
+/// let text = String::from_utf8(out).expect("ascii");
+/// assert!(text.contains("$timescale 1ns $end"));
+/// assert!(text.contains("#10"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_vcd<W: Write, S: AsRef<str>>(
+    mut out: W,
+    trace: &Trace,
+    signals: impl IntoIterator<Item = S>,
+    options: &VcdOptions,
+) -> io::Result<()> {
+    let names: Vec<String> = signals.into_iter().map(|s| s.as_ref().to_owned()).collect();
+
+    writeln!(out, "$comment {} $end", options.comment)?;
+    writeln!(out, "$timescale 1ns $end")?;
+    writeln!(out, "$scope module {} $end", options.module)?;
+    for (i, name) in names.iter().enumerate() {
+        writeln!(out, "$var wire {WIDTH} {} {name} $end", ident(i))?;
+    }
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
+
+    let missing = |name: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("signal `{name}` missing from a trace step"),
+        )
+    };
+
+    let mut last: Vec<Option<u64>> = vec![None; names.len()];
+    for (k, step) in trace.steps().iter().enumerate() {
+        let mut changes = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let v = step.signal(name).ok_or_else(|| missing(name))?;
+            if last[i] != Some(v) {
+                changes.push((i, v));
+                last[i] = Some(v);
+            }
+        }
+        if k == 0 {
+            writeln!(out, "#{}", step.time_ns)?;
+            writeln!(out, "$dumpvars")?;
+            for (i, v) in &changes {
+                writeln!(out, "{} {}", binary(*v), ident(*i))?;
+            }
+            writeln!(out, "$end")?;
+        } else if !changes.is_empty() {
+            writeln!(out, "#{}", step.time_ns)?;
+            for (i, v) in &changes {
+                writeln!(out, "{} {}", binary(*v), ident(*i))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders `trace` as a VCD string (convenience over [`write_vcd`]).
+///
+/// # Errors
+///
+/// Same conditions as [`write_vcd`].
+pub fn to_vcd_string<S: AsRef<str>>(
+    trace: &Trace,
+    signals: impl IntoIterator<Item = S>,
+    options: &VcdOptions,
+) -> io::Result<String> {
+    let mut out = Vec::new();
+    write_vcd(&mut out, trace, signals, options)?;
+    Ok(String::from_utf8(out).expect("vcd output is ascii"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psl::trace::Step;
+
+    fn demo_trace() -> Trace {
+        [
+            Step::new(10, [("clk", 1u64), ("data", 0xAB)]),
+            Step::new(20, [("clk", 0), ("data", 0xAB)]),
+            Step::new(30, [("clk", 1), ("data", 0xCD)]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn header_declares_all_signals() {
+        let text = to_vcd_string(&demo_trace(), ["clk", "data"], &VcdOptions::default()).unwrap();
+        assert!(text.contains("$var wire 64 ! clk $end"), "{text}");
+        assert!(text.contains("$var wire 64 \" data $end"), "{text}");
+        assert!(text.contains("$scope module dut $end"));
+        assert!(text.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn initial_dump_and_changes_only() {
+        let text = to_vcd_string(&demo_trace(), ["clk", "data"], &VcdOptions::default()).unwrap();
+        // Initial dump at #10 with both values.
+        assert!(text.contains("#10\n$dumpvars\nb1 !\nb10101011 \"\n$end\n"), "{text}");
+        // At #20 only clk changed.
+        let after_20 = text.split("#20\n").nth(1).unwrap();
+        let block_20: Vec<&str> = after_20.lines().take_while(|l| !l.starts_with('#')).collect();
+        assert_eq!(block_20, vec!["b0 !"]);
+        // At #30 both changed.
+        assert!(text.contains("#30\nb1 !\nb11001101 \"\n"), "{text}");
+    }
+
+    #[test]
+    fn unchanged_steps_emit_no_timestamp() {
+        let trace: Trace = [
+            Step::new(10, [("s", 5u64)]),
+            Step::new(20, [("s", 5)]),
+            Step::new(30, [("s", 5)]),
+        ]
+        .into_iter()
+        .collect();
+        let text = to_vcd_string(&trace, ["s"], &VcdOptions::default()).unwrap();
+        assert!(text.contains("#10"));
+        assert!(!text.contains("#20"));
+        assert!(!text.contains("#30"));
+    }
+
+    #[test]
+    fn missing_signal_is_invalid_input() {
+        let err = to_vcd_string(&demo_trace(), ["ghost"], &VcdOptions::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn idents_are_printable_and_unique() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)), "{id}");
+        }
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn zero_renders_as_b0() {
+        assert_eq!(binary(0), "b0");
+        assert_eq!(binary(5), "b101");
+    }
+
+    #[test]
+    fn custom_module_and_comment() {
+        let options = VcdOptions { module: "des56".into(), comment: "run 1".into() };
+        let text = to_vcd_string(&demo_trace(), ["clk"], &options).unwrap();
+        assert!(text.contains("$scope module des56 $end"));
+        assert!(text.contains("$comment run 1 $end"));
+    }
+}

@@ -1,0 +1,451 @@
+//! The simulation kernel: component registry, scheduler and run loop.
+
+use std::any::Any;
+
+use crate::queue::EventQueue;
+use crate::signal::{SignalId, SignalStore};
+use crate::stats::SimStats;
+use crate::time::SimTime;
+
+/// Handle of a component within a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) usize);
+
+/// An event delivered to a [`Component`].
+///
+/// `kind` is a component-defined tag (signal-change subscriptions and
+/// explicit schedules both carry one), letting a component distinguish its
+/// wake-up reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Component-defined tag.
+    pub kind: u64,
+    /// Simulation time of delivery.
+    pub time: SimTime,
+}
+
+/// A simulation process: anything that reacts to events.
+///
+/// Components are registered with [`Simulation::add_component`] and woken
+/// either by explicit schedules or by subscribed signal changes. The
+/// supertrait [`Any`] enables post-run downcasting via
+/// [`Simulation::component`] to extract results.
+pub trait Component: Any {
+    /// Reacts to an event. May read/write signals and schedule further
+    /// events through `ctx`.
+    fn handle(&mut self, event: Event, ctx: &mut SimCtx<'_>);
+}
+
+/// The mutable view of the simulation a component receives while handling
+/// an event.
+pub struct SimCtx<'a> {
+    now: SimTime,
+    delta: u32,
+    self_id: ComponentId,
+    signals: &'a mut SignalStore,
+    queue: &'a mut EventQueue,
+}
+
+impl SimCtx<'_> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The handling component's own id.
+    #[must_use]
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Current value of a signal.
+    #[must_use]
+    pub fn read(&self, signal: SignalId) -> u64 {
+        self.signals.read(signal)
+    }
+
+    /// Requests a signal write; the value commits at the end of the current
+    /// delta cycle (SystemC `sc_signal` semantics). The last write in a
+    /// delta wins.
+    pub fn write(&mut self, signal: SignalId, value: u64) {
+        self.signals.write(signal, value);
+    }
+
+    /// Schedules delivery of `kind` to `component` after `delay_ns`
+    /// nanoseconds. A zero delay delivers in the next delta cycle of the
+    /// current timestamp.
+    pub fn schedule_in(&mut self, delay_ns: u64, component: ComponentId, kind: u64) {
+        if delay_ns == 0 {
+            self.queue.push(self.now, self.delta + 1, component, kind);
+        } else {
+            self.queue.push(self.now + delay_ns, 0, component, kind);
+        }
+    }
+
+    /// Schedules delivery of `kind` to the handling component itself after
+    /// `delay_ns` nanoseconds (zero = next delta).
+    pub fn schedule_self(&mut self, delay_ns: u64, kind: u64) {
+        self.schedule_in(delay_ns, self.self_id, kind);
+    }
+
+    /// Wakes `component` with `kind` in the next delta cycle — the kernel's
+    /// zero-time notification primitive (used e.g. to tell checkers that a
+    /// transaction completed).
+    pub fn notify(&mut self, component: ComponentId, kind: u64) {
+        self.schedule_in(0, component, kind);
+    }
+}
+
+/// A discrete-event simulation: signals, components, scheduler and clock.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Default)]
+pub struct Simulation {
+    components: Vec<Option<Box<dyn Component>>>,
+    events_per_component: Vec<u64>,
+    signals: SignalStore,
+    queue: EventQueue,
+    now: SimTime,
+    last_timestamp: Option<SimTime>,
+    stats: SimStats,
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    #[must_use]
+    pub fn new() -> Simulation {
+        Simulation::default()
+    }
+
+    /// Registers a named signal with an initial value and returns its
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signal named `name` already exists.
+    pub fn add_signal(&mut self, name: &str, init: u64) -> SignalId {
+        assert!(
+            !self.signals.contains_name(name),
+            "duplicate signal name `{name}`"
+        );
+        self.signals.add(name, init)
+    }
+
+    /// Registers a component and returns its handle.
+    pub fn add_component(&mut self, component: impl Component) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(Some(Box::new(component)));
+        self.events_per_component.push(0);
+        id
+    }
+
+    /// Number of events delivered to `component` so far — the kernel-side
+    /// activity attribution used by the overhead analyses.
+    #[must_use]
+    pub fn events_for(&self, component: ComponentId) -> u64 {
+        self.events_per_component.get(component.0).copied().unwrap_or(0)
+    }
+
+    /// Subscribes `component` to changes of `signal`: each committed change
+    /// delivers an event with the given `kind` in the following delta.
+    pub fn subscribe(&mut self, signal: SignalId, component: ComponentId, kind: u64) {
+        self.signals.subscribe(signal, component, kind);
+    }
+
+    /// Schedules delivery of `kind` to `component` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, component: ComponentId, kind: u64) {
+        self.queue.push(at, 0, component, kind);
+    }
+
+    /// Looks up a signal by name.
+    #[must_use]
+    pub fn signal_id(&self, name: &str) -> Option<SignalId> {
+        self.signals.lookup(name)
+    }
+
+    /// Current value of a signal.
+    #[must_use]
+    pub fn signal(&self, id: SignalId) -> u64 {
+        self.signals.read(id)
+    }
+
+    /// The registered name of `id`.
+    #[must_use]
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        self.signals.name(id)
+    }
+
+    /// Immediately forces a signal value without waking subscribers.
+    /// Intended for pre-run initialization.
+    pub fn force_signal(&mut self, id: SignalId, value: u64) {
+        self.signals.force(id, value);
+    }
+
+    /// Iterates `(name, value)` over all signals.
+    pub fn signals(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.signals.iter()
+    }
+
+    /// Borrows a component back as its concrete type (e.g. to read results
+    /// after a run). Returns `None` for a wrong type or a stale id.
+    #[must_use]
+    pub fn component<T: Component>(&self, id: ComponentId) -> Option<&T> {
+        let boxed = self.components.get(id.0)?.as_deref()?;
+        (boxed as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a component back as its concrete type.
+    #[must_use]
+    pub fn component_mut<T: Component>(&mut self, id: ComponentId) -> Option<&mut T> {
+        let boxed = self.components.get_mut(id.0)?.as_deref_mut()?;
+        (boxed as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Runs until the event queue drains or the next event lies beyond
+    /// `end`, whichever comes first. Events exactly at `end` are processed.
+    /// Returns the accumulated statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component handles an event while already being handled
+    /// (the kernel is strictly sequential, so this indicates a stale
+    /// [`ComponentId`]).
+    pub fn run_until(&mut self, end: SimTime) -> SimStats {
+        while let Some((t, delta)) = self.queue.peek_key() {
+            if t > end {
+                break;
+            }
+            if self.last_timestamp != Some(t) {
+                self.last_timestamp = Some(t);
+                self.stats.timestamps += 1;
+            }
+            if t > self.now {
+                self.now = t;
+            }
+
+            // Evaluate phase: deliver every event at (t, delta).
+            while let Some(entry) = self.queue.pop_if_at(t, delta) {
+                let mut component = self.components[entry.target.0]
+                    .take()
+                    .expect("component re-entered while being handled");
+                let mut ctx = SimCtx {
+                    now: t,
+                    delta,
+                    self_id: entry.target,
+                    signals: &mut self.signals,
+                    queue: &mut self.queue,
+                };
+                component.handle(Event { kind: entry.kind, time: t }, &mut ctx);
+                self.components[entry.target.0] = Some(component);
+                self.events_per_component[entry.target.0] += 1;
+                self.stats.events_processed += 1;
+            }
+
+            // Update phase: commit writes, wake sensitive components in the
+            // next delta.
+            if self.signals.has_pending() {
+                let queue = &mut self.queue;
+                let changes = self.signals.commit(|component, kind| {
+                    queue.push(t, delta + 1, component, kind);
+                });
+                self.stats.signal_changes += changes as u64;
+            }
+            self.stats.delta_cycles += 1;
+        }
+        self.stats
+    }
+
+    /// Runs until the event queue is completely drained.
+    pub fn run_to_completion(&mut self) -> SimStats {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(u64, u64)>, // (time, kind)
+    }
+
+    impl Component for Recorder {
+        fn handle(&mut self, ev: Event, _ctx: &mut SimCtx<'_>) {
+            self.seen.push((ev.time.as_ns(), ev.kind));
+        }
+    }
+
+    struct Writer {
+        sig: SignalId,
+        value: u64,
+    }
+
+    impl Component for Writer {
+        fn handle(&mut self, _ev: Event, ctx: &mut SimCtx<'_>) {
+            ctx.write(self.sig, self.value);
+        }
+    }
+
+    #[test]
+    fn events_delivered_in_time_order() {
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Recorder { seen: Vec::new() });
+        sim.schedule(SimTime::from_ns(30), r, 3);
+        sim.schedule(SimTime::from_ns(10), r, 1);
+        sim.schedule(SimTime::from_ns(20), r, 2);
+        sim.run_to_completion();
+        let rec: &Recorder = sim.component(r).unwrap();
+        assert_eq!(rec.seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary_inclusive() {
+        let mut sim = Simulation::new();
+        let r = sim.add_component(Recorder { seen: Vec::new() });
+        sim.schedule(SimTime::from_ns(10), r, 1);
+        sim.schedule(SimTime::from_ns(20), r, 2);
+        sim.schedule(SimTime::from_ns(21), r, 3);
+        sim.run_until(SimTime::from_ns(20));
+        let rec: &Recorder = sim.component(r).unwrap();
+        assert_eq!(rec.seen, vec![(10, 1), (20, 2)]);
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn signal_change_wakes_subscriber_next_delta() {
+        let mut sim = Simulation::new();
+        let s = sim.add_signal("s", 0);
+        let w = sim.add_component(Writer { sig: s, value: 7 });
+        let r = sim.add_component(Recorder { seen: Vec::new() });
+        sim.subscribe(s, r, 42);
+        sim.schedule(SimTime::from_ns(5), w, 0);
+        sim.run_to_completion();
+        let rec: &Recorder = sim.component(r).unwrap();
+        assert_eq!(rec.seen, vec![(5, 42)], "woken at same time, later delta");
+        assert_eq!(sim.signal(s), 7);
+    }
+
+    #[test]
+    fn no_wake_when_value_unchanged() {
+        let mut sim = Simulation::new();
+        let s = sim.add_signal("s", 7);
+        let w = sim.add_component(Writer { sig: s, value: 7 });
+        let r = sim.add_component(Recorder { seen: Vec::new() });
+        sim.subscribe(s, r, 42);
+        sim.schedule(SimTime::from_ns(5), w, 0);
+        sim.run_to_completion();
+        let rec: &Recorder = sim.component(r).unwrap();
+        assert!(rec.seen.is_empty());
+    }
+
+    /// A component that cascades: on kind 0 it writes s1; a subscriber of
+    /// s1 writes s2; a subscriber of s2 records. Verifies multi-delta
+    /// propagation within one timestamp.
+    #[test]
+    fn delta_cycles_cascade_at_one_timestamp() {
+        let mut sim = Simulation::new();
+        let s1 = sim.add_signal("s1", 0);
+        let s2 = sim.add_signal("s2", 0);
+        let w1 = sim.add_component(Writer { sig: s1, value: 1 });
+        let w2 = sim.add_component(Writer { sig: s2, value: 1 });
+        let r = sim.add_component(Recorder { seen: Vec::new() });
+        sim.subscribe(s1, w2, 0);
+        sim.subscribe(s2, r, 99);
+        sim.schedule(SimTime::from_ns(10), w1, 0);
+        let stats = sim.run_to_completion();
+        let rec: &Recorder = sim.component(r).unwrap();
+        assert_eq!(rec.seen, vec![(10, 99)]);
+        assert!(stats.delta_cycles >= 3, "three evaluate/update rounds");
+        assert_eq!(stats.signal_changes, 2);
+    }
+
+    #[test]
+    fn schedule_self_and_zero_delay() {
+        struct SelfScheduler {
+            hops: u32,
+        }
+        impl Component for SelfScheduler {
+            fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+                if ev.kind < 3 {
+                    self.hops += 1;
+                    ctx.schedule_self(0, ev.kind + 1);
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        let c = sim.add_component(SelfScheduler { hops: 0 });
+        sim.schedule(SimTime::from_ns(1), c, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.component::<SelfScheduler>(c).unwrap().hops, 3);
+        assert_eq!(sim.now(), SimTime::from_ns(1), "zero delays stay at one timestamp");
+    }
+
+    #[test]
+    fn component_downcast_wrong_type_is_none() {
+        let mut sim = Simulation::new();
+        let s = sim.add_signal("s", 0);
+        let w = sim.add_component(Writer { sig: s, value: 1 });
+        assert!(sim.component::<Recorder>(w).is_none());
+        assert!(sim.component::<Writer>(w).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal name")]
+    fn duplicate_signal_names_rejected() {
+        let mut sim = Simulation::new();
+        sim.add_signal("s", 0);
+        sim.add_signal("s", 1);
+    }
+
+    #[test]
+    fn per_component_event_attribution() {
+        let mut sim = Simulation::new();
+        let a = sim.add_component(Recorder { seen: Vec::new() });
+        let b = sim.add_component(Recorder { seen: Vec::new() });
+        for k in 0..3 {
+            sim.schedule(SimTime::from_ns(10 + k), a, 0);
+        }
+        sim.schedule(SimTime::from_ns(20), b, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.events_for(a), 3);
+        assert_eq!(sim.events_for(b), 1);
+        assert_eq!(sim.events_for(ComponentId(99)), 0, "stale ids read as zero");
+    }
+
+    #[test]
+    fn force_signal_initializes_without_wake() {
+        let mut sim = Simulation::new();
+        let s = sim.add_signal("s", 0);
+        let r = sim.add_component(Recorder { seen: Vec::new() });
+        sim.subscribe(s, r, 1);
+        sim.force_signal(s, 5);
+        sim.run_to_completion();
+        assert_eq!(sim.signal(s), 5);
+        assert!(sim.component::<Recorder>(r).unwrap().seen.is_empty());
+    }
+}

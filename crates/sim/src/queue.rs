@@ -1,0 +1,94 @@
+//! The kernel's event queue: a priority queue ordered by
+//! `(time, delta, sequence)` so that simultaneous events preserve FIFO
+//! order and delta cycles at the same timestamp execute in rounds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::kernel::ComponentId;
+use crate::time::SimTime;
+
+/// One scheduled delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Entry {
+    pub time: SimTime,
+    pub delta: u32,
+    pub seq: u64,
+    pub target: ComponentId,
+    pub kind: u64,
+}
+
+/// Priority queue of pending events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Schedules delivery of `kind` to `target` at `(time, delta)`.
+    pub fn push(&mut self, time: SimTime, delta: u32, target: ComponentId, kind: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, delta, seq, target, kind }));
+    }
+
+    /// The `(time, delta)` of the earliest pending event.
+    pub fn peek_key(&self) -> Option<(SimTime, u32)> {
+        self.heap.peek().map(|Reverse(e)| (e.time, e.delta))
+    }
+
+    /// Pops the earliest event if its key equals `(time, delta)`.
+    pub fn pop_if_at(&mut self, time: SimTime, delta: u32) -> Option<Entry> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time == time && e.delta == delta => {
+                self.heap.pop().map(|Reverse(e)| e)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(n: usize) -> ComponentId {
+        ComponentId(n)
+    }
+
+    #[test]
+    fn orders_by_time_then_delta_then_seq() {
+        let mut q = EventQueue::default();
+        q.push(SimTime::from_ns(20), 0, cid(0), 0);
+        q.push(SimTime::from_ns(10), 1, cid(1), 0);
+        q.push(SimTime::from_ns(10), 0, cid(2), 0);
+        q.push(SimTime::from_ns(10), 0, cid(3), 0);
+
+        assert_eq!(q.peek_key(), Some((SimTime::from_ns(10), 0)));
+        let a = q.pop_if_at(SimTime::from_ns(10), 0).unwrap();
+        let b = q.pop_if_at(SimTime::from_ns(10), 0).unwrap();
+        assert_eq!((a.target, b.target), (cid(2), cid(3)), "FIFO among equals");
+        assert!(q.pop_if_at(SimTime::from_ns(10), 0).is_none());
+        assert_eq!(q.peek_key(), Some((SimTime::from_ns(10), 1)));
+    }
+
+    #[test]
+    fn pop_if_at_respects_key() {
+        let mut q = EventQueue::default();
+        q.push(SimTime::from_ns(5), 0, cid(0), 7);
+        assert!(q.pop_if_at(SimTime::from_ns(4), 0).is_none());
+        assert!(q.pop_if_at(SimTime::from_ns(5), 1).is_none());
+        let e = q.pop_if_at(SimTime::from_ns(5), 0).unwrap();
+        assert_eq!(e.kind, 7);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Signals: named 64-bit state with SystemC `sc_signal` update semantics.
+//!
+//! Writes performed during an evaluate phase are *pending* until the kernel
+//! commits them between delta cycles; a commit that changes a signal's
+//! value wakes the components on its sensitivity list in the next delta.
+
+use std::collections::HashMap;
+
+use crate::kernel::ComponentId;
+
+/// Handle of a signal within a [`Simulation`](crate::Simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) usize);
+
+#[derive(Debug)]
+struct Slot {
+    name: String,
+    value: u64,
+    pending: Option<u64>,
+    /// `(component, event kind delivered on change)`.
+    sensitivity: Vec<(ComponentId, u64)>,
+}
+
+/// Storage for all signals of a simulation.
+#[derive(Debug, Default)]
+pub(crate) struct SignalStore {
+    slots: Vec<Slot>,
+    by_name: HashMap<String, SignalId>,
+    /// Signals with a pending write, deduplicated.
+    dirty: Vec<SignalId>,
+}
+
+impl SignalStore {
+    /// Creates a signal; duplicate names are rejected by the kernel wrapper.
+    pub fn add(&mut self, name: &str, init: u64) -> SignalId {
+        let id = SignalId(self.slots.len());
+        self.slots.push(Slot {
+            name: name.to_owned(),
+            value: init,
+            pending: None,
+            sensitivity: Vec::new(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn contains_name(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    pub fn name(&self, id: SignalId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    pub fn read(&self, id: SignalId) -> u64 {
+        self.slots[id.0].value
+    }
+
+    /// Requests a write; commits at the next update phase (last write wins).
+    pub fn write(&mut self, id: SignalId, value: u64) {
+        let slot = &mut self.slots[id.0];
+        if slot.pending.is_none() {
+            self.dirty.push(id);
+        }
+        slot.pending = Some(value);
+    }
+
+    /// Immediately forces a value (initialization only — bypasses the
+    /// update phase and does not wake sensitive components).
+    pub fn force(&mut self, id: SignalId, value: u64) {
+        self.slots[id.0].value = value;
+    }
+
+    pub fn subscribe(&mut self, id: SignalId, component: ComponentId, kind: u64) {
+        self.slots[id.0].sensitivity.push((component, kind));
+    }
+
+    pub fn has_pending(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Commits all pending writes. Calls `wake(component, kind)` for every
+    /// subscriber of every signal whose committed value differs from the
+    /// old one. Returns the number of changed signals.
+    pub fn commit(&mut self, mut wake: impl FnMut(ComponentId, u64)) -> usize {
+        let mut changed = 0;
+        let dirty = std::mem::take(&mut self.dirty);
+        for id in dirty {
+            let slot = &mut self.slots[id.0];
+            let Some(v) = slot.pending.take() else { continue };
+            if v != slot.value {
+                slot.value = v;
+                changed += 1;
+                for &(c, kind) in &slot.sensitivity {
+                    wake(c, kind);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Iterates `(name, current value)` over all signals.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.slots.iter().map(|s| (s.name.as_str(), s.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_is_deferred_until_commit() {
+        let mut st = SignalStore::default();
+        let s = st.add("s", 0);
+        st.write(s, 5);
+        assert_eq!(st.read(s), 0, "pending until commit");
+        let changed = st.commit(|_, _| {});
+        assert_eq!(changed, 1);
+        assert_eq!(st.read(s), 5);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut st = SignalStore::default();
+        let s = st.add("s", 0);
+        st.write(s, 1);
+        st.write(s, 2);
+        st.commit(|_, _| {});
+        assert_eq!(st.read(s), 2);
+    }
+
+    #[test]
+    fn unchanged_commit_does_not_wake() {
+        let mut st = SignalStore::default();
+        let s = st.add("s", 7);
+        st.subscribe(s, ComponentId(0), 9);
+        st.write(s, 7);
+        let mut woken = Vec::new();
+        let changed = st.commit(|c, k| woken.push((c, k)));
+        assert_eq!(changed, 0);
+        assert!(woken.is_empty());
+    }
+
+    #[test]
+    fn change_wakes_all_subscribers() {
+        let mut st = SignalStore::default();
+        let s = st.add("s", 0);
+        st.subscribe(s, ComponentId(1), 10);
+        st.subscribe(s, ComponentId(2), 20);
+        st.write(s, 1);
+        let mut woken = Vec::new();
+        st.commit(|c, k| woken.push((c, k)));
+        assert_eq!(woken, vec![(ComponentId(1), 10), (ComponentId(2), 20)]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut st = SignalStore::default();
+        let s = st.add("rdy", 0);
+        assert_eq!(st.lookup("rdy"), Some(s));
+        assert_eq!(st.lookup("nope"), None);
+        assert_eq!(st.name(s), "rdy");
+    }
+}

@@ -1,0 +1,114 @@
+//! `rtl2tlm` — command-line front-end for the RTL-to-TLM property
+//! abstraction flow.
+//!
+//! ```text
+//! rtl2tlm abstract <file> [--clock-period NS] [--abstract-signal NAME]...
+//! rtl2tlm demo [--design des56|colorconv] [--level rtl|tlm-ca|tlm-at]
+//!              [--requests N] [--seed N] [--vcd PATH]
+//! ```
+//!
+//! Property files contain one `name: property` per line; `#` starts a
+//! comment. See `cargo run --bin rtl2tlm -- abstract --help`.
+
+use std::process::ExitCode;
+
+use rtl2tlm_abv::cli::{self, CliError, DemoParams};
+
+const USAGE: &str = "\
+rtl2tlm — RTL-to-TLM property abstraction (DATE 2015 reproduction)
+
+USAGE:
+    rtl2tlm abstract <file> [--clock-period NS] [--abstract-signal NAME]...
+    rtl2tlm demo [--design des56|colorconv] [--level rtl|tlm-ca|tlm-at]
+                 [--requests N] [--seed N] [--vcd PATH]
+
+COMMANDS:
+    abstract   Abstract the RTL properties in <file> (one `name: property`
+               per line, `#` comments) into TLM properties.
+    demo       Build one of the evaluation IPs, run its checker suite and
+               report the verdicts; --vcd dumps an RTL waveform.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("abstract") => run_abstract(&args[1..]),
+        Some("demo") => run_demo(&args[1..]),
+        Some("--help" | "-h") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn run_abstract(args: &[String]) -> Result<String, CliError> {
+    let mut file = None;
+    let mut clock_period = 10u64;
+    let mut signals: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--clock-period" => {
+                clock_period = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--clock-period expects ns".to_owned()))?;
+            }
+            "--abstract-signal" => signals.push(next_value(&mut it, arg)?),
+            "--help" | "-h" => return Ok(USAGE.to_owned()),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_owned());
+            }
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let file = file.ok_or_else(|| CliError::Usage("abstract requires a property file".into()))?;
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| CliError::Usage(format!("cannot read `{file}`: {e}")))?;
+    let properties = cli::parse_property_file(&text)?;
+    cli::run_abstract(&properties, clock_period, &signals)
+}
+
+fn run_demo(args: &[String]) -> Result<String, CliError> {
+    let mut params = DemoParams::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--design" => params.design = next_value(&mut it, arg)?,
+            "--level" => params.level = next_value(&mut it, arg)?,
+            "--requests" => {
+                params.requests = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--requests expects a count".to_owned()))?;
+            }
+            "--seed" => {
+                params.seed = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed expects an integer".to_owned()))?;
+            }
+            "--vcd" => params.vcd = Some(next_value(&mut it, arg)?),
+            "--help" | "-h" => return Ok(USAGE.to_owned()),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    cli::run_demo(&params)
+}
+
+fn next_value<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{flag} expects a value")))
+}

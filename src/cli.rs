@@ -1,0 +1,443 @@
+//! Implementation of the `rtl2tlm` command-line tool.
+//!
+//! Two commands:
+//!
+//! - `abstract`: read named RTL properties from a file and print their TLM
+//!   abstractions (the batch version of the paper's Fig. 3);
+//! - `demo`: build one of the two evaluation IPs at a chosen abstraction
+//!   level, run it under its checker suite and report the verdicts,
+//!   optionally dumping a VCD waveform.
+//!
+//! The parsing/reporting logic lives here (unit-tested); the binary in
+//! `src/bin/rtl2tlm.rs` is a thin wrapper.
+
+use std::fmt::Write as _;
+
+use abv_checker::{
+    collect_clock_reports, collect_tx_reports, install_clock_checkers, install_tx_checkers,
+    CheckReport,
+};
+use abv_core::{abstract_property, AbstractionConfig};
+use designs::{colorconv, des56, SuiteEntry, CLOCK_PERIOD_NS};
+use psl::{ClockedProperty, ClockEdge};
+use rtlkit::WaveRecorder;
+use tlmkit::CodingStyle;
+
+/// A parsed `name: property` line from a property file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedProperty {
+    /// The name before the first `:`.
+    pub name: String,
+    /// The parsed property.
+    pub property: ClockedProperty,
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// A property file line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Invalid command-line usage.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+            CliError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses a property file: one `name: property` per line, `#` comments and
+/// blank lines ignored.
+///
+/// # Errors
+///
+/// Returns [`CliError::BadLine`] with the offending line number.
+///
+/// ```
+/// let props = rtl2tlm_abv::cli::parse_property_file(
+///     "# DES56\np4: always (!ds || next[17] rdy) @clk_pos\n",
+/// )?;
+/// assert_eq!(props.len(), 1);
+/// assert_eq!(props[0].name, "p4");
+/// # Ok::<(), rtl2tlm_abv::cli::CliError>(())
+/// ```
+pub fn parse_property_file(text: &str) -> Result<Vec<NamedProperty>, CliError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let Some((name, rest)) = trimmed.split_once(':') else {
+            return Err(CliError::BadLine {
+                line,
+                message: "expected `name: property`".to_owned(),
+            });
+        };
+        let property: ClockedProperty = rest.trim().parse().map_err(|e: psl::ParseError| {
+            CliError::BadLine { line, message: e.to_string() }
+        })?;
+        out.push(NamedProperty { name: name.trim().to_owned(), property });
+    }
+    Ok(out)
+}
+
+/// Runs the `abstract` command over already-parsed inputs, returning the
+/// rendered report.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when a property cannot be abstracted
+/// (already TLM, already contains `next_ε^τ`, …).
+pub fn run_abstract(
+    properties: &[NamedProperty],
+    clock_period_ns: u64,
+    abstracted_signals: &[String],
+) -> Result<String, CliError> {
+    let cfg = AbstractionConfig::new(clock_period_ns)
+        .abstract_signals(abstracted_signals.iter().cloned());
+    let mut out = String::new();
+    for np in properties {
+        let a = abstract_property(&np.property, &cfg)
+            .map_err(|e| CliError::Usage(format!("{}: {e}", np.name)))?;
+        let _ = writeln!(out, "{} (RTL): {}", np.name, np.property);
+        match a.result() {
+            Some(q) => {
+                let _ = writeln!(out, "{} (TLM): {}", np.name, q);
+            }
+            None => {
+                let _ = writeln!(out, "{} (TLM): (deleted)", np.name);
+            }
+        }
+        let _ = writeln!(out, "        [{}]", a.consequence());
+        if !a.removed_atoms().is_empty() {
+            let removed: Vec<String> =
+                a.removed_atoms().iter().map(ToString::to_string).collect();
+            let _ = writeln!(out, "        removed: {}", removed.join(", "));
+        }
+    }
+    Ok(out)
+}
+
+/// Parameters of the `demo` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemoParams {
+    /// `des56` or `colorconv`.
+    pub design: String,
+    /// `rtl`, `tlm-ca` or `tlm-at`.
+    pub level: String,
+    /// Number of workload requests.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Optional VCD output path (RTL level only).
+    pub vcd: Option<String>,
+}
+
+impl Default for DemoParams {
+    fn default() -> DemoParams {
+        DemoParams {
+            design: "des56".to_owned(),
+            level: "rtl".to_owned(),
+            requests: 16,
+            seed: 2015,
+            vcd: None,
+        }
+    }
+}
+
+/// Runs the `demo` command and returns the rendered report.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown designs/levels or VCD requests
+/// at TLM levels, and I/O failures as usage errors with context.
+pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
+    let (suite, abstracted): (Vec<SuiteEntry>, Vec<&str>) = match params.design.as_str() {
+        "des56" => (des56::suite(), des56::ABSTRACTED_SIGNALS.to_vec()),
+        "colorconv" => (colorconv::suite(), colorconv::ABSTRACTED_SIGNALS.to_vec()),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown design `{other}` (expected des56 or colorconv)"
+            )))
+        }
+    };
+    if params.vcd.is_some() && params.level != "rtl" {
+        return Err(CliError::Usage("--vcd is only available at the rtl level".to_owned()));
+    }
+
+    let rtl_props: Vec<(String, ClockedProperty)> =
+        suite.iter().map(SuiteEntry::named).collect();
+    let cfg = AbstractionConfig::new(CLOCK_PERIOD_NS)
+        .abstract_signals(abstracted.iter().copied());
+    // At TLM-AT, install only the AT-compatible abstractions: CA-only
+    // properties reference instants the loose AT model never produces and
+    // review-flagged ones need manual refinement (DESIGN.md §5b).
+    let tlm_props: Vec<(String, ClockedProperty)> = suite
+        .iter()
+        .filter(|e| e.class == designs::PropertyClass::AtCompatible)
+        .filter_map(|e| {
+            abstract_property(&e.rtl, &cfg)
+                .ok()
+                .and_then(|a| a.into_property())
+                .map(|q| (e.name.to_owned(), q))
+        })
+        .collect();
+
+    let (report, header) = match (params.design.as_str(), params.level.as_str()) {
+        ("des56", "rtl") => {
+            let w = des56::DesWorkload::mixed(params.requests, params.seed);
+            let mut built = des56::build_rtl(&w, des56::DesMutation::None);
+            let rec = params.vcd.as_ref().map(|_| {
+                WaveRecorder::install(
+                    &mut built.sim,
+                    built.clk.signal,
+                    ClockEdge::Pos,
+                    des56::RTL_SIGNALS,
+                )
+            });
+            let hosts = install_clock_checkers(&mut built.sim, built.clk.signal, &rtl_props)
+                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            built.run();
+            if let (Some(path), Some(rec)) = (&params.vcd, rec) {
+                dump_vcd(&built.sim, rec, path, "des56", des56::RTL_SIGNALS)?;
+            }
+            let end = built.end_ns;
+            (collect_clock_reports(&mut built.sim, &hosts, end), "DES56 @ RTL")
+        }
+        ("colorconv", "rtl") => {
+            let w = colorconv::ConvWorkload::mixed(params.requests, params.seed);
+            let mut built = colorconv::build_rtl(&w, colorconv::ConvMutation::None);
+            let rec = params.vcd.as_ref().map(|_| {
+                WaveRecorder::install(
+                    &mut built.sim,
+                    built.clk.signal,
+                    ClockEdge::Pos,
+                    colorconv::RTL_SIGNALS,
+                )
+            });
+            let hosts = install_clock_checkers(&mut built.sim, built.clk.signal, &rtl_props)
+                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            built.run();
+            if let (Some(path), Some(rec)) = (&params.vcd, rec) {
+                dump_vcd(&built.sim, rec, path, "colorconv", colorconv::RTL_SIGNALS)?;
+            }
+            let end = built.end_ns;
+            (collect_clock_reports(&mut built.sim, &hosts, end), "ColorConv @ RTL")
+        }
+        ("des56", "tlm-ca") => {
+            let w = des56::DesWorkload::mixed(params.requests, params.seed);
+            let mut built = des56::build_tlm_ca(&w, des56::DesMutation::None);
+            let props: Vec<(String, ClockedProperty)> = suite
+                .iter()
+                .map(|e| {
+                    (e.name.to_owned(), abv_core::reuse_at_cycle_accurate(&e.rtl).expect("clock"))
+                })
+                .collect();
+            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            built.run();
+            let end = built.end_ns;
+            (collect_tx_reports(&mut built.sim, &hosts, end), "DES56 @ TLM-CA (reused checkers)")
+        }
+        ("colorconv", "tlm-ca") => {
+            let w = colorconv::ConvWorkload::mixed(params.requests, params.seed);
+            let mut built = colorconv::build_tlm_ca(&w, colorconv::ConvMutation::None);
+            let props: Vec<(String, ClockedProperty)> = suite
+                .iter()
+                .map(|e| {
+                    (e.name.to_owned(), abv_core::reuse_at_cycle_accurate(&e.rtl).expect("clock"))
+                })
+                .collect();
+            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            built.run();
+            let end = built.end_ns;
+            (
+                collect_tx_reports(&mut built.sim, &hosts, end),
+                "ColorConv @ TLM-CA (reused checkers)",
+            )
+        }
+        ("des56", "tlm-at") => {
+            let w = des56::DesWorkload::mixed(params.requests, params.seed);
+            let mut built = des56::build_tlm_at(
+                &w,
+                des56::DesMutation::None,
+                CodingStyle::ApproximatelyTimedLoose,
+            );
+            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &tlm_props)
+                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            built.run();
+            let end = built.end_ns;
+            (
+                collect_tx_reports(&mut built.sim, &hosts, end),
+                "DES56 @ TLM-AT (abstracted checkers)",
+            )
+        }
+        ("colorconv", "tlm-at") => {
+            let w = colorconv::ConvWorkload::mixed(params.requests, params.seed);
+            let mut built = colorconv::build_tlm_at(
+                &w,
+                colorconv::ConvMutation::None,
+                CodingStyle::ApproximatelyTimedLoose,
+            );
+            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &tlm_props)
+                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            built.run();
+            let end = built.end_ns;
+            (
+                collect_tx_reports(&mut built.sim, &hosts, end),
+                "ColorConv @ TLM-AT (abstracted checkers)",
+            )
+        }
+        (_, other) => {
+            return Err(CliError::Usage(format!(
+                "unknown level `{other}` (expected rtl, tlm-ca or tlm-at)"
+            )))
+        }
+    };
+
+    Ok(render_report(header, &report))
+}
+
+fn dump_vcd<S: AsRef<str>>(
+    sim: &desim::Simulation,
+    rec: rtlkit::RecorderHandle,
+    path: &str,
+    module: &str,
+    signals: impl IntoIterator<Item = S>,
+) -> Result<(), CliError> {
+    let trace = WaveRecorder::take_trace(sim, rec);
+    let options = rtlkit::vcd::VcdOptions {
+        module: module.to_owned(),
+        comment: "rtl2tlm demo".to_owned(),
+    };
+    let text = rtlkit::vcd::to_vcd_string(&trace, signals, &options)
+        .map_err(|e| CliError::Usage(format!("vcd export failed: {e}")))?;
+    std::fs::write(path, text)
+        .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))
+}
+
+fn render_report(header: &str, report: &CheckReport) -> String {
+    let mut out = format!("== {header} ==\n");
+    let _ = write!(out, "{report}");
+    let verdict = if report.all_pass() { "ALL PASS" } else { "FAILURES PRESENT" };
+    let _ = writeln!(out, "=> {verdict}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_file_parsing() {
+        let text = "# suite\n\n p4 : always (!ds || next[17] rdy) @clk_pos\nq: rdy @T_b\n";
+        let props = parse_property_file(text).unwrap();
+        assert_eq!(props.len(), 2);
+        assert_eq!(props[0].name, "p4");
+        assert!(props[1].property.context.is_transaction());
+    }
+
+    #[test]
+    fn property_file_errors_carry_line_numbers() {
+        let err = parse_property_file("ok: rdy @clk_pos\nbroken line\n").unwrap_err();
+        assert_eq!(
+            err,
+            CliError::BadLine { line: 2, message: "expected `name: property`".to_owned() }
+        );
+        let err = parse_property_file("\n\nx: next[0] rdy\n").unwrap_err();
+        assert!(matches!(err, CliError::BadLine { line: 3, .. }));
+    }
+
+    #[test]
+    fn abstract_command_renders_fig3() {
+        let props = parse_property_file(
+            "p3: always (!ds || (next[15](rdy_next_next_cycle) && next[16](rdy_next_cycle) \
+             && next[17](rdy))) @clk_pos\n",
+        )
+        .unwrap();
+        let out = run_abstract(
+            &props,
+            10,
+            &["rdy_next_cycle".to_owned(), "rdy_next_next_cycle".to_owned()],
+        )
+        .unwrap();
+        assert!(out.contains("p3 (TLM): always ((!ds) || (next_et[1, 170] rdy)) @T_b"), "{out}");
+        assert!(out.contains("weakened"), "{out}");
+        assert!(out.contains("removed: rdy_next_next_cycle, rdy_next_cycle"), "{out}");
+    }
+
+    #[test]
+    fn abstract_command_rejects_tlm_input() {
+        let props = parse_property_file("q: rdy @T_b\n").unwrap();
+        let err = run_abstract(&props, 10, &[]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn demo_rtl_des56_passes() {
+        let params = DemoParams { requests: 4, ..DemoParams::default() };
+        let out = run_demo(&params).unwrap();
+        assert!(out.contains("DES56 @ RTL"), "{out}");
+        assert!(out.contains("ALL PASS"), "{out}");
+    }
+
+    #[test]
+    fn demo_tlm_at_colorconv_reports_expected_failures() {
+        // c9 and c10 are expected to fail at loose TLM-AT (classification),
+        // so the overall verdict mentions failures — still a correct run.
+        let params = DemoParams {
+            design: "colorconv".to_owned(),
+            level: "tlm-at".to_owned(),
+            requests: 4,
+            ..DemoParams::default()
+        };
+        let out = run_demo(&params).unwrap();
+        assert!(out.contains("ColorConv @ TLM-AT"), "{out}");
+        assert!(out.contains("c1: PASS"), "{out}");
+    }
+
+    #[test]
+    fn demo_rejects_unknown_inputs() {
+        let params = DemoParams { design: "nope".to_owned(), ..DemoParams::default() };
+        assert!(matches!(run_demo(&params), Err(CliError::Usage(_))));
+        let params = DemoParams { level: "nope".to_owned(), ..DemoParams::default() };
+        assert!(matches!(run_demo(&params), Err(CliError::Usage(_))));
+        let params = DemoParams {
+            level: "tlm-at".to_owned(),
+            vcd: Some("x.vcd".to_owned()),
+            ..DemoParams::default()
+        };
+        assert!(matches!(run_demo(&params), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn demo_writes_vcd() {
+        let dir = std::env::temp_dir().join("rtl2tlm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.vcd");
+        let params = DemoParams {
+            requests: 2,
+            vcd: Some(path.to_string_lossy().into_owned()),
+            ..DemoParams::default()
+        };
+        let out = run_demo(&params).unwrap();
+        assert!(out.contains("ALL PASS"), "{out}");
+        let vcd = std::fs::read_to_string(&path).unwrap();
+        assert!(vcd.contains("$var wire 64"), "{vcd}");
+        std::fs::remove_file(&path).ok();
+    }
+}

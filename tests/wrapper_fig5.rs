@@ -1,0 +1,107 @@
+//! The Fig. 5 wrapper scenario: checker instances for `q3` activated at
+//! each transaction, reset/reused on completion, and a failure raised when
+//! a transaction arrives past an unconsumed evaluation point (the paper's
+//! "failure at time 350ns because checker instance C[3] was not executed
+//! when expected at time 340ns").
+
+use abv_checker::{FailReason, TxCheckerHost};
+use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use psl::ClockedProperty;
+use tlmkit::{Transaction, TransactionBus};
+
+/// Replays a scripted sequence of `(time, ds, rdy)` transactions.
+struct ScriptedModel {
+    bus: TransactionBus,
+    ds: SignalId,
+    rdy: SignalId,
+    script: Vec<(u64, u64, u64)>,
+    next: usize,
+}
+
+impl Component for ScriptedModel {
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+        let (_, ds, rdy) = self.script[self.next];
+        ctx.write(self.ds, ds);
+        ctx.write(self.rdy, rdy);
+        self.bus.publish(ctx, Transaction::write(0, 0, ev.time));
+        self.next += 1;
+        if let Some(&(t, _, _)) = self.script.get(self.next) {
+            ctx.schedule_self(t - ev.time.as_ns(), 0);
+        }
+    }
+}
+
+fn run_script(script: Vec<(u64, u64, u64)>) -> abv_checker::PropertyReport {
+    let mut sim = Simulation::new();
+    let bus = TransactionBus::new();
+    let ds = sim.add_signal("ds", 0);
+    let rdy = sim.add_signal("rdy", 0);
+    let first = script[0].0;
+    let model = sim.add_component(ScriptedModel { bus: bus.clone(), ds, rdy, script, next: 0 });
+    sim.schedule(SimTime::from_ns(first), model, 0);
+
+    let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b".parse().unwrap();
+    let host = TxCheckerHost::install(&mut sim, &bus, "q3", &q3).unwrap();
+    sim.run_to_completion();
+    let end = sim.now().as_ns();
+    sim.component_mut::<TxCheckerHost>(host).unwrap().finalize(end)
+}
+
+#[test]
+fn fig5_failure_when_expected_instant_is_skipped() {
+    // A firing at 170ns expects rdy at 340ns. Transactions occur every
+    // 10ns up to 330ns, then the next one only at 350ns.
+    let mut script: Vec<(u64, u64, u64)> = Vec::new();
+    for t in (170..=330).step_by(10) {
+        script.push((t, u64::from(t == 170), 0));
+    }
+    script.push((350, 0, 1));
+    let report = run_script(script);
+    assert_eq!(report.failure_count, 1);
+    let failure = report.failures[0];
+    assert_eq!(failure.fire_ns, 170);
+    assert_eq!(failure.fail_ns, 350);
+    assert_eq!(failure.reason, FailReason::MissedDeadline { deadline_ns: 340 });
+}
+
+#[test]
+fn fig5_instances_reset_and_reused_after_completion() {
+    // Firings at every transaction (ds high throughout), rdy always high:
+    // each instance completes exactly at +170ns and its slot is recycled.
+    // With one transaction every 10ns, at most 17 instances are in flight
+    // (the paper's array size for q3) plus the freshly activated one.
+    let script: Vec<(u64, u64, u64)> = (1..=100).map(|k| (k * 10, 1, 1)).collect();
+    let report = run_script(script);
+    assert_eq!(report.failure_count, 0);
+    assert!(report.completions > 60);
+    assert!(
+        (17..=18).contains(&report.max_live_instances),
+        "instance pool bounded by the property lifetime, got {}",
+        report.max_live_instances
+    );
+}
+
+#[test]
+fn fig5_trivially_true_activations_are_not_registered() {
+    // ds low everywhere: every activation is trivially true, no instance
+    // is ever allocated (Section IV, point 4).
+    let script: Vec<(u64, u64, u64)> = (1..=20).map(|k| (k * 10, 0, 0)).collect();
+    let report = run_script(script);
+    assert_eq!(report.vacuous, 20);
+    assert_eq!(report.max_live_instances, 0);
+}
+
+#[test]
+fn early_transactions_do_not_consume_the_evaluation_point() {
+    // Transactions at t < ε are "not considered for the evaluation of
+    // next_ε^τ(a)" (Section IV): many early transactions, then the exact
+    // deadline — the instance completes.
+    let mut script: Vec<(u64, u64, u64)> = vec![(100, 1, 0)];
+    for t in [110, 125, 177, 203, 265] {
+        script.push((t, 0, 0));
+    }
+    script.push((270, 0, 1)); // 100 + 170
+    let report = run_script(script);
+    assert_eq!(report.failure_count, 0);
+    assert_eq!(report.completions, 1);
+}
