@@ -11,10 +11,13 @@
 //! 3. **Online monitors vs post-hoc trace oracle** — dynamic checking
 //!    during simulation versus recording a trace and evaluating the
 //!    property afterwards.
+//!
+//! Plain timing harness (`harness = false`); run with
+//! `cargo bench --bench ablation`.
 
-use abv_checker::{install_tx_checkers, TxCheckerHost};
+use abv_bench::stopwatch::bench;
+use abv_checker::{Binding, Checker};
 use abv_core::{abstract_property, naive::naive_scale, AbstractionConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use designs::des56::{self, DesMutation, DesWorkload};
 use designs::CLOCK_PERIOD_NS;
 use psl::{ClockedProperty, EvalContext};
@@ -28,7 +31,10 @@ fn q3() -> ClockedProperty {
     let p3 = &suite.iter().find(|e| e.name == "p3").expect("p3").rtl;
     let cfg = AbstractionConfig::new(CLOCK_PERIOD_NS)
         .abstract_signals(des56::ABSTRACTED_SIGNALS.iter().copied());
-    abstract_property(p3, &cfg).expect("abstracts").into_property().expect("kept")
+    abstract_property(p3, &cfg)
+        .expect("abstracts")
+        .into_property()
+        .expect("kept")
 }
 
 /// Runs q3 on the TLM-CA model (dense event stream — where the table
@@ -36,80 +42,71 @@ fn q3() -> ClockedProperty {
 fn run_q3_ca(use_table: bool) -> u64 {
     let w = DesWorkload::mixed(SIZE, 3);
     let mut built = des56::build_tlm_ca(&w, DesMutation::None);
-    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &[("q3".to_owned(), q3())])
-        .expect("installs");
+    let checker =
+        Checker::attach(&mut built.sim, "q3", &q3(), Binding::bus(&built.bus)).expect("attaches");
     if !use_table {
-        built
-            .sim
-            .component_mut::<TxCheckerHost>(hosts[0])
-            .expect("host")
-            .checker_mut()
+        checker
+            .checker_mut(&mut built.sim)
             .disable_evaluation_table();
     }
     built.run();
     built.sim.stats().events_processed
 }
 
-fn bench_evaluation_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/evaluation-table");
-    group.bench_function("table", |b| b.iter(|| black_box(run_q3_ca(true))));
-    group.bench_function("step-everything", |b| b.iter(|| black_box(run_q3_ca(false))));
-    group.finish();
+fn bench_evaluation_table() {
+    println!("ablation/evaluation-table");
+    bench("table", || black_box(run_q3_ca(true)));
+    bench("step-everything", || black_box(run_q3_ca(false)));
 }
 
-fn bench_naive_vs_next_et(c: &mut Criterion) {
+fn bench_naive_vs_next_et() {
     let suite = des56::suite();
     let p4 = &suite.iter().find(|e| e.name == "p4").expect("p4").rtl;
     let pushed = psl::push_ahead::push_ahead(&psl::nnf::to_nnf(&p4.property)).expect("pushes");
     let naive = ClockedProperty::new(naive_scale(&pushed, 17).expect("scales"), EvalContext::tb());
     let cfg = AbstractionConfig::new(CLOCK_PERIOD_NS);
-    let next_et = abstract_property(p4, &cfg).expect("abstracts").into_property().expect("kept");
+    let next_et = abstract_property(p4, &cfg)
+        .expect("abstracts")
+        .into_property()
+        .expect("kept");
 
-    let mut group = c.benchmark_group("ablation/abstraction-operator");
+    println!("ablation/abstraction-operator");
     for (name, property) in [("naive-next-m", naive), ("next-et", next_et)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let w = DesWorkload::mixed(SIZE, 5);
-                let mut built =
-                    des56::build_tlm_at(&w, DesMutation::None, CodingStyle::ApproximatelyTimedLoose);
-                let _hosts = install_tx_checkers(
-                    &mut built.sim,
-                    &built.bus,
-                    &[("p".to_owned(), property.clone())],
-                )
-                .expect("installs");
-                black_box(built.run())
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_online_vs_trace_oracle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/checking-style");
-    group.bench_function("online-monitor", |b| {
-        b.iter(|| {
-            let w = DesWorkload::mixed(SIZE, 9);
+        bench(name, || {
+            let w = DesWorkload::mixed(SIZE, 5);
             let mut built =
                 des56::build_tlm_at(&w, DesMutation::None, CodingStyle::ApproximatelyTimedLoose);
-            let _hosts = install_tx_checkers(&mut built.sim, &built.bus, &[("q3".to_owned(), q3())])
-                .expect("installs");
+            let _checker =
+                Checker::attach(&mut built.sim, "p", &property, Binding::bus(&built.bus))
+                    .expect("attaches");
             black_box(built.run())
         });
-    });
-    group.bench_function("record-then-evaluate", |b| {
-        b.iter(|| {
-            let w = DesWorkload::mixed(SIZE, 9);
-            let mut built =
-                des56::build_tlm_at(&w, DesMutation::None, CodingStyle::ApproximatelyTimedLoose);
-            let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, des56::TLM_AT_SIGNALS);
-            built.run();
-            let trace = TxTraceRecorder::take_trace(&built.sim, rec);
-            black_box(trace.satisfies(&q3()).expect("evaluates"))
-        });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(benches, bench_evaluation_table, bench_naive_vs_next_et, bench_online_vs_trace_oracle);
-criterion_main!(benches);
+fn bench_online_vs_trace_oracle() {
+    println!("ablation/checking-style");
+    bench("online-monitor", || {
+        let w = DesWorkload::mixed(SIZE, 9);
+        let mut built =
+            des56::build_tlm_at(&w, DesMutation::None, CodingStyle::ApproximatelyTimedLoose);
+        let _checker = Checker::attach(&mut built.sim, "q3", &q3(), Binding::bus(&built.bus))
+            .expect("attaches");
+        black_box(built.run())
+    });
+    bench("record-then-evaluate", || {
+        let w = DesWorkload::mixed(SIZE, 9);
+        let mut built =
+            des56::build_tlm_at(&w, DesMutation::None, CodingStyle::ApproximatelyTimedLoose);
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, des56::TLM_AT_SIGNALS);
+        built.run();
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        black_box(trace.satisfies(&q3()).expect("evaluates"))
+    });
+}
+
+fn main() {
+    bench_evaluation_table();
+    bench_naive_vs_next_et();
+    bench_online_vs_trace_oracle();
+}

@@ -1,27 +1,25 @@
-//! Criterion bench behind **Table I**: simulation time per
+//! Bench behind **Table I**: simulation time per
 //! (design, abstraction level, checker count) cell.
+//!
+//! Plain timing harness (`harness = false`); run with
+//! `cargo bench --bench checker_overhead`.
 
+use abv_bench::stopwatch::bench;
 use abv_bench::{checker_counts, run, Design, Level};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-/// Workload size per iteration; small enough for criterion's repetitions.
+/// Workload size per iteration; small enough for repeated timing.
 const SIZE: usize = 120;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     for design in [Design::Des56, Design::ColorConv] {
-        let mut group = c.benchmark_group(format!("table1/{}", design.label()));
+        println!("table1/{}", design.label());
         for level in Level::ALL {
             for &n in &checker_counts(design) {
-                let id = BenchmarkId::new(level.label(), format!("{n}C"));
-                group.bench_with_input(id, &(level, n), |b, &(level, n)| {
-                    b.iter(|| black_box(run(design, level, n, SIZE, 7)));
+                bench(&format!("{}/{n}C", level.label()), || {
+                    black_box(run(design, level, n, SIZE, 7))
                 });
             }
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -1,32 +1,27 @@
-//! Criterion bench behind **Fig. 6**: per-level simulation time without
-//! checkers and with the full suite, from which the RTL/TLM speedups (and
-//! their change when checkers are added) follow.
+//! Bench behind **Fig. 6**: per-level simulation time without checkers
+//! and with the full suite, from which the RTL/TLM speedups (and their
+//! change when checkers are added) follow.
+//!
+//! Plain timing harness (`harness = false`); run with
+//! `cargo bench --bench speedup`.
 
+use abv_bench::stopwatch::bench;
 use abv_bench::{properties_for_level, run, Design, Level};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 const SIZE: usize = 120;
 
-fn bench_speedup(c: &mut Criterion) {
+fn main() {
     for design in [Design::Des56, Design::ColorConv] {
-        let mut group = c.benchmark_group(format!("fig6/{}", design.label()));
+        println!("fig6/{}", design.label());
         for level in Level::ALL {
             let all = properties_for_level(design, level).len();
-            group.bench_with_input(
-                BenchmarkId::new(level.label(), "no-checkers"),
-                &level,
-                |b, &level| b.iter(|| black_box(run(design, level, 0, SIZE, 11))),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(level.label(), "all-checkers"),
-                &level,
-                |b, &level| b.iter(|| black_box(run(design, level, all, SIZE, 11))),
-            );
+            bench(&format!("{}/no-checkers", level.label()), || {
+                black_box(run(design, level, 0, SIZE, 11))
+            });
+            bench(&format!("{}/all-checkers", level.label()), || {
+                black_box(run(design, level, all, SIZE, 11))
+            });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_speedup);
-criterion_main!(benches);

@@ -11,61 +11,48 @@
 //!   conversion work and the overhead of the surviving (frame-level)
 //!   checkers collapses to the paper's single-digit percentages.
 //!
+//! Both granularities are campaign cells (the bulk model is the factory's
+//! `TLM-AT-bulk` level), measured by one sharded campaign.
+//!
 //! ```text
 //! cargo run --release -p abv-bench --bin bulk_at
 //! ```
 
-use std::time::Instant;
-
-use abv_bench::{default_reps, default_size, overhead_pct, properties_for_level, Design, Level};
-use abv_checker::install_tx_checkers;
-use designs::colorconv::{self, bulk_surviving_properties, ConvMutation, ConvWorkload};
-use psl::ClockedProperty;
-use tlmkit::CodingStyle;
-
-fn time_per_pixel(size: usize, props: &[(String, ClockedProperty)]) -> f64 {
-    let w = ConvWorkload::mixed(size, 0xD1);
-    let mut built =
-        colorconv::build_tlm_at(&w, ConvMutation::None, CodingStyle::ApproximatelyTimedLoose);
-    let _hosts = install_tx_checkers(&mut built.sim, &built.bus, props).expect("installs");
-    let start = Instant::now();
-    built.run();
-    start.elapsed().as_secs_f64()
-}
-
-fn time_bulk(size: usize, props: &[(String, ClockedProperty)]) -> f64 {
-    let w = ConvWorkload::mixed(size, 0xD1);
-    let mut built = colorconv::build_tlm_at_bulk(&w, ConvMutation::None);
-    let _hosts = install_tx_checkers(&mut built.sim, &built.bus, props).expect("installs");
-    let start = Instant::now();
-    built.run();
-    start.elapsed().as_secs_f64()
-}
-
-fn best_of(reps: usize, f: impl Fn() -> f64) -> f64 {
-    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
-}
+use abv_bench::{
+    default_reps, default_size, default_workers, measure, overhead_pct, CheckerMode, Design, Level,
+};
 
 fn main() {
     let size = default_size() * 10; // bulk runs are cheap; use a bigger frame
     let reps = default_reps();
+    let workers = default_workers();
     println!("ColorConv TLM-AT checker overhead vs transaction granularity");
-    println!("(frame of {size} pixels, best of {reps} runs)\n");
+    println!("(frame of {size} pixels, best of {reps} runs, {workers} worker(s))\n");
 
-    let per_pixel_props = properties_for_level(Design::ColorConv, Level::TlmAt);
-    let base_pp = best_of(reps, || time_per_pixel(size, &[]));
-    let with_pp = best_of(reps, || time_per_pixel(size, &per_pixel_props));
-    println!("per-pixel AT : base {base_pp:.4}s, all checkers {with_pp:.4}s, overhead {:>7.1}%",
-        overhead_pct(std::time::Duration::from_secs_f64(base_pp),
-                     std::time::Duration::from_secs_f64(with_pp)));
+    let cells = [
+        (Design::ColorConv, Level::TlmAt, CheckerMode::None),
+        (Design::ColorConv, Level::TlmAt, CheckerMode::All),
+        (Design::ColorConv, Level::TlmAtBulk, CheckerMode::None),
+        (Design::ColorConv, Level::TlmAtBulk, CheckerMode::All),
+    ];
+    let reports = measure(&cells, size, reps, workers);
+    let n_bulk = designs::properties_at(Design::ColorConv, Level::TlmAtBulk).len();
 
-    let bulk_props = bulk_surviving_properties();
-    let base_bulk = best_of(reps, || time_bulk(size, &[]));
-    let with_bulk = best_of(reps, || time_bulk(size, &bulk_props));
-    println!("bulk AT      : base {base_bulk:.4}s, {} checkers    {with_bulk:.4}s, overhead {:>7.1}%",
-        bulk_props.len(),
-        overhead_pct(std::time::Duration::from_secs_f64(base_bulk),
-                     std::time::Duration::from_secs_f64(with_bulk)));
+    let (base_pp, with_pp) = (reports[0].wall_min, reports[1].wall_min);
+    println!(
+        "per-pixel AT : base {:.4}s, all checkers {:.4}s, overhead {:>7.1}%",
+        base_pp.as_secs_f64(),
+        with_pp.as_secs_f64(),
+        overhead_pct(base_pp, with_pp)
+    );
+
+    let (base_bulk, with_bulk) = (reports[2].wall_min, reports[3].wall_min);
+    println!(
+        "bulk AT      : base {:.4}s, {n_bulk} checkers    {:.4}s, overhead {:>7.1}%",
+        base_bulk.as_secs_f64(),
+        with_bulk.as_secs_f64(),
+        overhead_pct(base_bulk, with_bulk)
+    );
 
     println!("\nAt the bulk granularity of the paper's Section V models the");
     println!("overhead collapses into the paper's single-digit range — at the");

@@ -4,46 +4,63 @@
 //!
 //! The "with checkers" bar averages the speedups measured at the 1 C, 5 C
 //! and All C configurations, mirroring the paper's averaging across
-//! checker amounts.
+//! checker amounts. All (level, count) cells of one IP are measured by a
+//! single campaign sharded across `ABV_BENCH_WORKERS` threads.
 //!
 //! ```text
 //! cargo run --release -p abv-bench --bin fig6
 //! ```
 
-use abv_bench::{checker_counts, default_reps, default_size, run_best_of, Design, Level};
+use abv_bench::{
+    checker_counts, default_reps, default_size, default_workers, measure, CheckerMode, Design,
+    Level,
+};
 
 fn bar(label: &str, value: f64) {
     let blocks = (value * 4.0).round() as usize;
-    println!("  {label:<22} {value:>6.2}x  {}", "#".repeat(blocks.min(120)));
+    println!(
+        "  {label:<22} {value:>6.2}x  {}",
+        "#".repeat(blocks.min(120))
+    );
+}
+
+fn mode(n: usize) -> CheckerMode {
+    if n == 0 {
+        CheckerMode::None
+    } else {
+        CheckerMode::First(n)
+    }
 }
 
 fn main() {
     let size = default_size();
     let reps = default_reps();
+    let workers = default_workers();
     println!("FIG. 6 reproduction — RTL/TLM simulation average speedup");
-    println!("(workload: {size} requests per IP, best of {reps} runs)\n");
+    println!("(workload: {size} requests per IP, best of {reps} runs, {workers} worker(s))\n");
 
+    let levels = [Level::Rtl, Level::TlmCa, Level::TlmAt];
     for design in [Design::Des56, Design::ColorConv] {
         println!("--- {} ---", design.label());
         let counts = checker_counts(design);
-        let rtl_base = run_best_of(design, Level::Rtl, 0, size, reps).wall.as_secs_f64();
-        let rtl_with: Vec<f64> = counts[1..]
-            .iter()
-            .map(|&n| run_best_of(design, Level::Rtl, n, size, reps).wall.as_secs_f64())
+        let cells: Vec<_> = levels
+            .into_iter()
+            .flat_map(|level| counts.iter().map(move |&n| (design, level, mode(n))))
             .collect();
+        let reports = measure(&cells, size, reps, workers);
+        let wall = |level_idx: usize, count_idx: usize| {
+            reports[level_idx * counts.len() + count_idx]
+                .wall_min
+                .as_secs_f64()
+        };
 
-        for level in [Level::TlmCa, Level::TlmAt] {
-            let tlm_base = run_best_of(design, level, 0, size, reps).wall.as_secs_f64();
-            let speedup_wo = rtl_base / tlm_base;
-
-            let mut speedups_with = Vec::new();
-            for (i, &n) in counts[1..].iter().enumerate() {
-                // At TLM-AT the suite may be smaller after deletion; clamp.
-                let tlm = run_best_of(design, level, n, size, reps).wall.as_secs_f64();
-                speedups_with.push(rtl_with[i] / tlm);
-            }
-            let speedup_with =
-                speedups_with.iter().sum::<f64>() / speedups_with.len() as f64;
+        let rtl_base = wall(0, 0);
+        for (ti, level) in [Level::TlmCa, Level::TlmAt].into_iter().enumerate() {
+            let speedup_wo = rtl_base / wall(ti + 1, 0);
+            let speedups_with: Vec<f64> = (1..counts.len())
+                .map(|ci| wall(0, ci) / wall(ti + 1, ci))
+                .collect();
+            let speedup_with = speedups_with.iter().sum::<f64>() / speedups_with.len() as f64;
 
             bar(&format!("{} w/out checkers", level.label()), speedup_wo);
             bar(&format!("{} with checkers", level.label()), speedup_with);

@@ -2,29 +2,50 @@
 //! case and abstraction level, the simulation time without checkers and
 //! with 1 / 5 / all checkers, plus the checker overhead percentage.
 //!
+//! The measurement grid is one campaign per IP — every (level, checker
+//! count) cell runs `ABV_BENCH_REPS` repetitions, sharded across
+//! `ABV_BENCH_WORKERS` threads — and the per-cell best-of wall time is
+//! what the table prints.
+//!
 //! ```text
 //! cargo run --release -p abv-bench --bin table1
 //! ABV_BENCH_SIZE=10000 cargo run --release -p abv-bench --bin table1
 //! ```
 
-use abv_bench::{checker_counts, default_reps, default_size, overhead_pct, run_best_of, Design,
-    Level};
+use abv_bench::{
+    checker_counts, default_reps, default_size, default_workers, measure, overhead_pct,
+    CheckerMode, Design, Level,
+};
+
+fn mode(n: usize) -> CheckerMode {
+    if n == 0 {
+        CheckerMode::None
+    } else {
+        CheckerMode::First(n)
+    }
+}
 
 fn main() {
     let size = default_size();
     let reps = default_reps();
+    let workers = default_workers();
     println!("TABLE I reproduction — simulation results");
-    println!("(workload: {size} requests per IP, best of {reps} runs; absolute times are");
-    println!(" machine-specific, compare the overhead shape with the paper)\n");
+    println!("(workload: {size} requests per IP, best of {reps} runs, {workers} worker(s);");
+    println!(" absolute times are machine-specific, compare the overhead shape)\n");
 
     println!("Abstr. level   w/out c. (s)  with c. (s)   overhead   checkers");
     for design in [Design::Des56, Design::ColorConv] {
         println!("--- {} ---", design.label());
-        for level in Level::ALL {
-            let counts = checker_counts(design);
-            let base = run_best_of(design, level, 0, size, reps);
-            for &n in &counts[1..] {
-                let with = run_best_of(design, level, n, size, reps);
+        let counts = checker_counts(design);
+        let cells: Vec<_> = Level::ALL
+            .into_iter()
+            .flat_map(|level| counts.iter().map(move |&n| (design, level, mode(n))))
+            .collect();
+        let reports = measure(&cells, size, reps, workers);
+        for (li, level) in Level::ALL.into_iter().enumerate() {
+            let base = reports[li * counts.len()].wall_min;
+            for (ci, &n) in counts.iter().enumerate().skip(1) {
+                let with = reports[li * counts.len() + ci].wall_min;
                 let label = if n == *counts.last().expect("non-empty") {
                     "All C".to_owned()
                 } else {
@@ -33,9 +54,9 @@ fn main() {
                 println!(
                     "{:<14} {:>12.3} {:>12.3} {:>9.1}%   {}",
                     format!("{} {}", level.label(), label),
-                    base.wall.as_secs_f64(),
-                    with.wall.as_secs_f64(),
-                    overhead_pct(base.wall, with.wall),
+                    base.as_secs_f64(),
+                    with.as_secs_f64(),
+                    overhead_pct(base, with),
                     label
                 );
             }

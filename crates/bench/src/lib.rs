@@ -8,94 +8,37 @@
 //! - `fig6`: prints the Fig. 6 average-speedup reproduction;
 //! - `fig3`: prints the Fig. 3 property-abstraction table.
 //!
-//! Criterion benches (`cargo bench`): `checker_overhead`, `speedup`,
-//! `ablation`.
+//! Timing benches (`cargo bench`): `checker_overhead`, `speedup`,
+//! `ablation` — plain `harness = false` mains over [`stopwatch`].
+//!
+//! Measured runs are built through the design factory
+//! ([`designs::build`]) and verified through the unified
+//! [`Checker::attach`](abv_checker::Checker::attach) facade; the
+//! multi-run campaigns behind the binaries ride on `abv-campaign`.
 //!
 //! Absolute times differ from the paper's testbed; the *shape* is what is
 //! reproduced: overhead grows with checker count at every level, reusing
 //! unabstracted checkers at TLM-CA costs more than at RTL, and abstracted
 //! checkers at TLM-AT cost an order of magnitude less (see EXPERIMENTS.md).
 
+pub mod stopwatch;
+
 use std::time::{Duration, Instant};
 
-use abv_checker::{
-    collect_clock_reports, collect_tx_reports, install_clock_checkers, install_tx_checkers,
-    CheckReport,
-};
-use abv_core::{abstract_property, reuse_at_cycle_accurate, AbstractionConfig};
-use designs::{colorconv, des56, SuiteEntry, CLOCK_PERIOD_NS};
+use abv_campaign::{run_campaign, CampaignPlan, CellReport};
+use abv_checker::{CheckReport, Checker};
+use designs::Fault;
 use desim::SimStats;
 use psl::ClockedProperty;
-use tlmkit::CodingStyle;
 
-/// Which IP to benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Design {
-    /// DES56 (9 properties, latency 17).
-    Des56,
-    /// ColorConv (12 properties, latency 8).
-    ColorConv,
-}
+pub use abv_campaign::CheckerMode;
 
-impl Design {
-    /// Display label.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            Design::Des56 => "DES56",
-            Design::ColorConv => "ColorConv",
-        }
-    }
-
-    /// The IP's property suite.
-    #[must_use]
-    pub fn suite(self) -> Vec<SuiteEntry> {
-        match self {
-            Design::Des56 => des56::suite(),
-            Design::ColorConv => colorconv::suite(),
-        }
-    }
-
-    /// The abstraction configuration for this IP.
-    #[must_use]
-    pub fn config(self) -> AbstractionConfig {
-        let base = AbstractionConfig::new(CLOCK_PERIOD_NS);
-        match self {
-            Design::Des56 => base.abstract_signals(des56::ABSTRACTED_SIGNALS.iter().copied()),
-            Design::ColorConv => {
-                base.abstract_signals(colorconv::ABSTRACTED_SIGNALS.iter().copied())
-            }
-        }
-    }
-}
+/// Which IP to benchmark (re-exported from the design factory; the
+/// benchmark binaries cover the paper's two IPs, `ALL` also has FIR).
+pub use designs::DesignKind as Design;
 
 /// Abstraction level of a measured run (Table I rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Level {
-    /// RTL simulation with RTL checkers.
-    Rtl,
-    /// TLM cycle-accurate simulation; checkers synthesized from the
-    /// *unabstracted* RTL properties (re-clocked to `T_b`).
-    TlmCa,
-    /// TLM approximately-timed simulation (paper's loose style); checkers
-    /// synthesized from the *abstracted* properties.
-    TlmAt,
-}
-
-impl Level {
-    /// Display label matching the paper's table.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            Level::Rtl => "RTL",
-            Level::TlmCa => "TLM-CA",
-            Level::TlmAt => "TLM-AT",
-        }
-    }
-
-    /// All levels in Table I order.
-    pub const ALL: [Level; 3] = [Level::Rtl, Level::TlmCa, Level::TlmAt];
-}
+pub use designs::AbsLevel as Level;
 
 /// Outcome of one measured simulation run.
 #[derive(Debug, Clone)]
@@ -112,41 +55,14 @@ pub struct RunResult {
 /// The checker set sizes of Table I (`w/out c.`, `1 C`, `5 C`, `All C`).
 #[must_use]
 pub fn checker_counts(design: Design) -> [usize; 4] {
-    match design {
-        Design::Des56 => [0, 1, 5, 9],
-        Design::ColorConv => [0, 1, 5, 12],
-    }
+    [0, 1, 5, design.suite().len()]
 }
 
-/// The properties installed at `level`, in suite order.
-///
-/// - RTL: the original clock-context properties;
-/// - TLM-CA: the originals re-clocked onto `T_b` (no abstraction);
-/// - TLM-AT: the surviving results of Methodology III.1.
+/// The properties installed at `level`, in suite order (see
+/// [`designs::properties_at`]).
 #[must_use]
 pub fn properties_for_level(design: Design, level: Level) -> Vec<(String, ClockedProperty)> {
-    let suite = design.suite();
-    match level {
-        Level::Rtl => suite.iter().map(SuiteEntry::named).collect(),
-        Level::TlmCa => suite
-            .iter()
-            .map(|e| {
-                (e.name.to_owned(), reuse_at_cycle_accurate(&e.rtl).expect("clock context"))
-            })
-            .collect(),
-        Level::TlmAt => {
-            let cfg = design.config();
-            suite
-                .iter()
-                .filter_map(|e| {
-                    abstract_property(&e.rtl, &cfg)
-                        .expect("suite abstracts")
-                        .into_property()
-                        .map(|q| (e.name.to_owned(), q))
-                })
-                .collect()
-        }
-    }
+    designs::properties_at(design, level)
 }
 
 /// Runs one measured simulation: `design` at `level` with the first
@@ -154,93 +70,26 @@ pub fn properties_for_level(design: Design, level: Level) -> Vec<(String, Clocke
 ///
 /// # Panics
 ///
-/// Panics if checker installation fails (the suites are always
-/// installable at their levels).
+/// Panics if the design has no model at `level` or checker attachment
+/// fails (the suites are always attachable at their levels).
 #[must_use]
 pub fn run(design: Design, level: Level, n_checkers: usize, size: usize, seed: u64) -> RunResult {
-    let props: Vec<(String, ClockedProperty)> =
-        properties_for_level(design, level).into_iter().take(n_checkers).collect();
-    match design {
-        Design::Des56 => {
-            let w = des56::DesWorkload::mixed(size, seed);
-            match level {
-                Level::Rtl => {
-                    let mut built = des56::build_rtl(&w, des56::DesMutation::None);
-                    let hosts =
-                        install_clock_checkers(&mut built.sim, built.clk.signal, &props)
-                            .expect("installs");
-                    let start = Instant::now();
-                    let stats = built.run();
-                    let wall = start.elapsed();
-                    let report = collect_clock_reports(&mut built.sim, &hosts, built.end_ns);
-                    RunResult { wall, stats, report }
-                }
-                Level::TlmCa => {
-                    let mut built = des56::build_tlm_ca(&w, des56::DesMutation::None);
-                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
-                        .expect("installs");
-                    let start = Instant::now();
-                    let stats = built.run();
-                    let wall = start.elapsed();
-                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
-                    RunResult { wall, stats, report }
-                }
-                Level::TlmAt => {
-                    let mut built = des56::build_tlm_at(
-                        &w,
-                        des56::DesMutation::None,
-                        CodingStyle::ApproximatelyTimedLoose,
-                    );
-                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
-                        .expect("installs");
-                    let start = Instant::now();
-                    let stats = built.run();
-                    let wall = start.elapsed();
-                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
-                    RunResult { wall, stats, report }
-                }
-            }
-        }
-        Design::ColorConv => {
-            let w = colorconv::ConvWorkload::mixed(size, seed);
-            match level {
-                Level::Rtl => {
-                    let mut built = colorconv::build_rtl(&w, colorconv::ConvMutation::None);
-                    let hosts =
-                        install_clock_checkers(&mut built.sim, built.clk.signal, &props)
-                            .expect("installs");
-                    let start = Instant::now();
-                    let stats = built.run();
-                    let wall = start.elapsed();
-                    let report = collect_clock_reports(&mut built.sim, &hosts, built.end_ns);
-                    RunResult { wall, stats, report }
-                }
-                Level::TlmCa => {
-                    let mut built = colorconv::build_tlm_ca(&w, colorconv::ConvMutation::None);
-                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
-                        .expect("installs");
-                    let start = Instant::now();
-                    let stats = built.run();
-                    let wall = start.elapsed();
-                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
-                    RunResult { wall, stats, report }
-                }
-                Level::TlmAt => {
-                    let mut built = colorconv::build_tlm_at(
-                        &w,
-                        colorconv::ConvMutation::None,
-                        CodingStyle::ApproximatelyTimedLoose,
-                    );
-                    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
-                        .expect("installs");
-                    let start = Instant::now();
-                    let stats = built.run();
-                    let wall = start.elapsed();
-                    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
-                    RunResult { wall, stats, report }
-                }
-            }
-        }
+    let props: Vec<(String, ClockedProperty)> = properties_for_level(design, level)
+        .into_iter()
+        .take(n_checkers)
+        .collect();
+    let mut built =
+        designs::build(design, level, size, seed, Fault::None).expect("level supported");
+    let binding = built.binding();
+    let checkers = Checker::attach_all(&mut built.sim, &props, binding).expect("installs");
+    let start = Instant::now();
+    let stats = built.run();
+    let wall = start.elapsed();
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
+    RunResult {
+        wall,
+        stats,
+        report,
     }
 }
 
@@ -271,18 +120,62 @@ pub fn run_best_of(
     best.expect("reps >= 1")
 }
 
+/// Measures a grid of benchmark cells through the campaign engine: each
+/// `(design, level, checkers)` triple becomes a campaign cell repeated
+/// `reps` times on `workers` threads, and the per-cell aggregates come
+/// back in input order ([`CellReport::wall_min`](abv_campaign::CellReport)
+/// is the best-of-reps estimator the binaries print).
+///
+/// # Panics
+///
+/// Panics if a cell names a design/level pair without a model.
+#[must_use]
+pub fn measure(
+    cells: &[(Design, Level, CheckerMode)],
+    size: usize,
+    reps: usize,
+    workers: usize,
+) -> Vec<CellReport> {
+    let mut plan = CampaignPlan::new("bench")
+        .runs(reps)
+        .size(size)
+        .seed(0xBEEF);
+    for &(design, level, checkers) in cells {
+        plan = plan.cell(design, level, checkers);
+    }
+    run_campaign(&plan, workers)
+        .expect("benchmark plan must be executable")
+        .cells
+}
+
+/// Worker threads used by the table/fig binaries: `ABV_BENCH_WORKERS` or
+/// the machine's available parallelism.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::env::var("ABV_BENCH_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Workload size used by the table/fig binaries, overridable via the
 /// `ABV_BENCH_SIZE` environment variable.
 #[must_use]
 pub fn default_size() -> usize {
-    std::env::var("ABV_BENCH_SIZE").ok().and_then(|s| s.parse().ok()).unwrap_or(3000)
+    std::env::var("ABV_BENCH_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000)
 }
 
 /// Repetitions used by the table/fig binaries, overridable via
 /// `ABV_BENCH_REPS`.
 #[must_use]
 pub fn default_reps() -> usize {
-    std::env::var("ABV_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+    std::env::var("ABV_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
 }
 
 /// Percentage overhead of `with` over `base`.
@@ -301,7 +194,16 @@ mod tests {
         assert_eq!(properties_for_level(Design::Des56, Level::TlmCa).len(), 9);
         // p8 is deleted by the abstraction.
         assert_eq!(properties_for_level(Design::Des56, Level::TlmAt).len(), 8);
-        assert_eq!(properties_for_level(Design::ColorConv, Level::TlmAt).len(), 12);
+        assert_eq!(
+            properties_for_level(Design::ColorConv, Level::TlmAt).len(),
+            12
+        );
+    }
+
+    #[test]
+    fn checker_counts_track_suite_sizes() {
+        assert_eq!(checker_counts(Design::Des56), [0, 1, 5, 9]);
+        assert_eq!(checker_counts(Design::ColorConv), [0, 1, 5, 12]);
     }
 
     #[test]
@@ -331,9 +233,29 @@ mod tests {
             for level in [Level::Rtl, Level::TlmCa] {
                 let n = properties_for_level(design, level).len();
                 let r = run(design, level, n, 6, 3);
-                assert!(r.report.all_pass(), "{} {}: {}", design.label(), level.label(), r.report);
+                assert!(
+                    r.report.all_pass(),
+                    "{} {}: {}",
+                    design.label(),
+                    level.label(),
+                    r.report
+                );
             }
         }
+    }
+
+    #[test]
+    fn measure_returns_cells_in_input_order() {
+        let cells = [
+            (Design::Des56, Level::Rtl, CheckerMode::None),
+            (Design::Des56, Level::TlmAt, CheckerMode::All),
+        ];
+        let reports = measure(&cells, 5, 2, 2);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].runs, 2);
+        assert!(reports[0].report.properties.is_empty());
+        assert_eq!(reports[1].report.properties.len(), 8);
+        assert!(reports[0].stats.events_processed > reports[1].stats.events_processed);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Minimal timing harness for the `harness = false` benches: repeats a
+//! closure under a small time budget and prints min/median/mean.
+//!
+//! This replaces the former criterion dependency, which cannot be
+//! resolved in offline builds; the statistics are deliberately simple
+//! (best-of is the meaningful estimator for a deterministic
+//! single-threaded simulation loop).
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget, overridable via `ABV_BENCH_BUDGET_MS`.
+#[must_use]
+pub fn budget() -> Duration {
+    let ms = std::env::var("ABV_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    Duration::from_millis(ms)
+}
+
+/// Timing samples of one benchmark, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Samples {
+    /// Per-iteration durations, sorted ascending.
+    pub sorted: Vec<Duration>,
+}
+
+impl Samples {
+    /// Fastest iteration.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        self.sorted[0]
+    }
+
+    /// Median iteration.
+    #[must_use]
+    pub fn median(&self) -> Duration {
+        self.sorted[self.sorted.len() / 2]
+    }
+
+    /// Mean iteration.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
+    }
+}
+
+/// Runs `f` repeatedly (one warm-up, then at least 3 and at most 50
+/// samples within [`budget`]) and prints a `label: min/median/mean` line.
+/// Returns the samples for callers that post-process.
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Samples {
+    let _ = f(); // warm-up
+    let budget = budget();
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    while samples.len() < 3 || (started.elapsed() < budget && samples.len() < 50) {
+        let t0 = Instant::now();
+        let _ = f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let s = Samples { sorted: samples };
+    println!(
+        "  {label:<28} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} iters)",
+        s.min(),
+        s.median(),
+        s.mean(),
+        s.sorted.len()
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered() {
+        let s = Samples {
+            sorted: vec![
+                Duration::from_micros(1),
+                Duration::from_micros(2),
+                Duration::from_micros(9),
+            ],
+        };
+        assert_eq!(s.min(), Duration::from_micros(1));
+        assert_eq!(s.median(), Duration::from_micros(2));
+        assert_eq!(s.mean(), Duration::from_micros(4));
+    }
+}

@@ -1,0 +1,178 @@
+//! The sharded campaign executor.
+//!
+//! [`run_campaign`] expands a plan into its work list and shards it across
+//! a fixed pool of `std::thread` workers. Each worker claims the next run
+//! off a shared atomic cursor, constructs a **fresh, fully isolated**
+//! simulation inside its own thread (kernel state is `Rc`-based and never
+//! crosses threads — only the `Send` outcome does), executes it, and sends
+//! the indexed outcome back over a channel. The collector slots outcomes
+//! by work-list index and folds them in plan order, so the merged report
+//! is identical for any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use abv_checker::Checker;
+
+use crate::plan::{CampaignPlan, PlanError, RunSpec};
+use crate::report::{CampaignReport, RunOutcome};
+
+/// Executes one run spec in the calling thread: build the design fresh
+/// from `(cell, seed)`, attach the cell's checker selection, simulate,
+/// finalize.
+///
+/// # Panics
+///
+/// Panics if the spec's cell is not buildable — campaign plans are
+/// validated before expansion, so specs from [`CampaignPlan::run_specs`]
+/// of a validated plan cannot hit this.
+#[must_use]
+pub fn execute_run(spec: &RunSpec) -> RunOutcome {
+    let props = spec
+        .spec
+        .checkers
+        .select(designs::properties_at(spec.spec.design, spec.spec.level));
+    let mut built = designs::build(
+        spec.spec.design,
+        spec.spec.level,
+        spec.size,
+        spec.seed,
+        spec.spec.fault,
+    )
+    .expect("validated plan cell must build");
+    let binding = built.binding();
+    let checkers =
+        Checker::attach_all(&mut built.sim, &props, binding).expect("suite attaches at its level");
+    let start = Instant::now();
+    let stats = built.run();
+    let wall = start.elapsed();
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
+    RunOutcome {
+        wall,
+        stats,
+        report,
+    }
+}
+
+/// Runs `plan` on `workers` threads (clamped to `1..=total_runs`) and
+/// merges the per-run results into a [`CampaignReport`].
+///
+/// The aggregate — everything except wall-clock fields — is a pure
+/// function of the plan: seeds are derived from plan coordinates, work is
+/// claimed from an atomic cursor but folded by work-list index, and each
+/// run's simulation is freshly constructed inside its worker.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the plan fails validation; no work starts.
+pub fn run_campaign(plan: &CampaignPlan, workers: usize) -> Result<CampaignReport, PlanError> {
+    plan.validate()?;
+    let specs = plan.run_specs();
+    let workers = workers.clamp(1, specs.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, RunOutcome)>();
+    let started = Instant::now();
+
+    let outcomes = thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let specs = &specs;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(index) else { break };
+                let outcome = execute_run(spec);
+                if tx.send((index, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut outcomes: Vec<Option<RunOutcome>> = vec![None; specs.len()];
+        for (index, outcome) in rx {
+            outcomes[index] = Some(outcome);
+        }
+        outcomes
+    });
+
+    Ok(CampaignReport::assemble(
+        plan,
+        workers,
+        started.elapsed(),
+        &specs,
+        outcomes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CheckerMode;
+    use designs::{AbsLevel, DesignKind, Fault};
+
+    #[test]
+    fn invalid_plan_is_rejected_before_work_starts() {
+        let err = run_campaign(&CampaignPlan::new("empty"), 4).unwrap_err();
+        assert!(matches!(err, PlanError::NoCells));
+    }
+
+    #[test]
+    fn single_run_campaign_matches_direct_execution() {
+        let plan = CampaignPlan::new("one")
+            .cell(DesignKind::Des56, AbsLevel::TlmCa, CheckerMode::All)
+            .size(6)
+            .seed(99);
+        let report = run_campaign(&plan, 1).expect("valid plan");
+        let direct = execute_run(&plan.run_specs()[0]);
+        assert_eq!(report.cells[0].stats, direct.stats);
+        assert_eq!(report.cells[0].report, direct.report);
+        assert!(report.all_pass());
+    }
+
+    #[test]
+    fn workers_share_the_work_and_merge_identically() {
+        let plan = CampaignPlan::new("grid")
+            .cell(DesignKind::Des56, AbsLevel::Rtl, CheckerMode::First(2))
+            .cell(DesignKind::ColorConv, AbsLevel::TlmAt, CheckerMode::All)
+            .runs(4)
+            .size(5)
+            .seed(0xFEED);
+        let solo = run_campaign(&plan, 1).expect("valid plan");
+        let pooled = run_campaign(&plan, 3).expect("valid plan");
+        assert_eq!(solo.deterministic_summary(), pooled.deterministic_summary());
+        assert_eq!(pooled.workers, 3);
+        assert_eq!(pooled.cells[0].runs, 4);
+        assert_eq!(pooled.cells[1].runs, 4);
+    }
+
+    #[test]
+    fn injected_fault_is_captured_with_its_seed() {
+        let plan = CampaignPlan::new("fault")
+            .cell_spec(
+                crate::plan::CellSpec::new(DesignKind::Des56, AbsLevel::TlmAt, CheckerMode::All)
+                    .with_fault(Fault::LatencyShort),
+            )
+            .runs(2)
+            .size(5)
+            .seed(0xDEAD);
+        let report = run_campaign(&plan, 2).expect("valid plan");
+        assert!(!report.all_pass());
+        let first = report.cells[0]
+            .first_failure
+            .as_ref()
+            .expect("fault detected");
+        assert_eq!(first.rep, 0, "earliest failing repetition wins");
+        assert_eq!(first.seed, plan.run_specs()[0].seed);
+    }
+
+    #[test]
+    fn oversized_worker_count_is_clamped() {
+        let plan = CampaignPlan::new("clamp")
+            .cell(DesignKind::Des56, AbsLevel::TlmAt, CheckerMode::None)
+            .size(4);
+        let report = run_campaign(&plan, 64).expect("valid plan");
+        assert_eq!(report.workers, 1, "1 run cannot use 64 workers");
+    }
+}

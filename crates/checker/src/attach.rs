@@ -1,0 +1,223 @@
+//! The unified checker-attach facade.
+//!
+//! [`Checker::attach`] replaces the split
+//! `ClockCheckerHost::install`/`TxCheckerHost::install` entry points: the
+//! caller describes *what the simulation offers* (a [`Binding`] with a
+//! clock signal, a transaction bus, or both) and the facade dispatches on
+//! the property's evaluation context — clock-context properties get a
+//! clock-edge host, transaction-context (`T_b`) properties get the
+//! paper's TLM wrapper. The returned [`Checker`] handle is uniform:
+//! [`Checker::finalize`] yields the [`PropertyReport`] regardless of which
+//! host kind is behind it.
+
+use desim::{ComponentId, SignalId, Simulation};
+use psl::ClockedProperty;
+use tlmkit::TransactionBus;
+
+use crate::host::{
+    install_clock_host, install_tx_host, ClockCheckerHost, InstallError, TxCheckerHost,
+};
+use crate::monitor::PropertyChecker;
+use crate::report::{CheckReport, PropertyReport};
+
+/// What the simulation offers a checker to observe: a clock signal, a
+/// transaction bus, or both. Which one a given property actually uses is
+/// decided by [`Checker::attach`] from the property's context.
+///
+/// The binding owns a handle to the bus (buses are cheap shared handles),
+/// so one binding is typically built per simulation and cloned for every
+/// property of the suite.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    clk: Option<SignalId>,
+    bus: Option<TransactionBus>,
+}
+
+impl Binding {
+    /// A binding offering only a clock signal (pure-RTL simulations).
+    #[must_use]
+    pub fn clock(clk: SignalId) -> Binding {
+        Binding {
+            clk: Some(clk),
+            bus: None,
+        }
+    }
+
+    /// A binding offering only a transaction bus (pure-TLM simulations).
+    #[must_use]
+    pub fn bus(bus: &TransactionBus) -> Binding {
+        Binding {
+            clk: None,
+            bus: Some(bus.clone()),
+        }
+    }
+
+    /// A binding offering both, for mixed-level simulations where the
+    /// property set contains clocked and transaction properties.
+    #[must_use]
+    pub fn full(clk: SignalId, bus: &TransactionBus) -> Binding {
+        Binding {
+            clk: Some(clk),
+            bus: Some(bus.clone()),
+        }
+    }
+}
+
+/// Which host kind backs a [`Checker`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Clock,
+    Tx,
+}
+
+/// A uniform handle to one attached property checker.
+///
+/// ```
+/// use abv_checker::{Binding, Checker};
+/// use desim::Simulation;
+/// use rtlkit::Clock;
+///
+/// let mut sim = Simulation::new();
+/// let clk = Clock::install(&mut sim, "clk", 10);
+/// let rdy = sim.add_signal("rdy", 1);
+/// let p = "always rdy @clk_pos".parse().unwrap();
+/// let checker = Checker::attach(&mut sim, "p", &p, Binding::clock(clk.signal)).unwrap();
+/// sim.run_until(desim::SimTime::from_ns(100));
+/// let report = checker.finalize(&mut sim, 100);
+/// assert_eq!(report.failure_count, 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Checker {
+    id: ComponentId,
+    kind: Kind,
+}
+
+impl Checker {
+    /// Compiles `property` and attaches a checker to `sim`, picking the
+    /// host kind from the property's evaluation context: clock contexts
+    /// sample at the edges of the binding's clock, transaction contexts
+    /// observe the binding's bus.
+    ///
+    /// # Errors
+    ///
+    /// - [`InstallError::Compile`] if checker synthesis fails (unknown
+    ///   signals, unsupported operators);
+    /// - [`InstallError::MissingClock`] / [`InstallError::MissingBus`] if
+    ///   the binding does not offer what the context needs.
+    pub fn attach(
+        sim: &mut Simulation,
+        name: &str,
+        property: &ClockedProperty,
+        binding: Binding,
+    ) -> Result<Checker, InstallError> {
+        if property.context.is_transaction() {
+            let bus = binding.bus.as_ref().ok_or(InstallError::MissingBus)?;
+            let id = install_tx_host(sim, bus, name, property)?;
+            Ok(Checker { id, kind: Kind::Tx })
+        } else {
+            let clk = binding.clk.ok_or(InstallError::MissingClock)?;
+            let id = install_clock_host(sim, clk, name, property)?;
+            Ok(Checker {
+                id,
+                kind: Kind::Clock,
+            })
+        }
+    }
+
+    /// Attaches one checker per `(name, property)` pair against the same
+    /// binding, in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first property that cannot be attached, reporting its
+    /// index alongside the error.
+    pub fn attach_all(
+        sim: &mut Simulation,
+        properties: &[(String, ClockedProperty)],
+        binding: Binding,
+    ) -> Result<Vec<Checker>, (usize, InstallError)> {
+        properties
+            .iter()
+            .enumerate()
+            .map(|(i, (name, p))| {
+                Checker::attach(sim, name, p, binding.clone()).map_err(|e| (i, e))
+            })
+            .collect()
+    }
+
+    /// Finalizes the checker at simulation end `end_ns` and returns the
+    /// definitive report (undetermined instances become `pending`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to `sim`.
+    #[must_use]
+    pub fn finalize(&self, sim: &mut Simulation, end_ns: u64) -> PropertyReport {
+        match self.kind {
+            Kind::Clock => sim
+                .component_mut::<ClockCheckerHost>(self.id)
+                .expect("checker handle must belong to this simulation")
+                .finalize(end_ns),
+            Kind::Tx => sim
+                .component_mut::<TxCheckerHost>(self.id)
+                .expect("checker handle must belong to this simulation")
+                .finalize(end_ns),
+        }
+    }
+
+    /// Finalizes a whole suite of checkers into one [`CheckReport`], in
+    /// attach order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handle does not belong to `sim`.
+    #[must_use]
+    pub fn collect(sim: &mut Simulation, checkers: &[Checker], end_ns: u64) -> CheckReport {
+        checkers.iter().map(|c| c.finalize(sim, end_ns)).collect()
+    }
+
+    /// The underlying host component id.
+    #[must_use]
+    pub fn component_id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// The wrapped [`PropertyChecker`] (for inspection in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to `sim`.
+    #[must_use]
+    pub fn checker_ref<'s>(&self, sim: &'s Simulation) -> &'s PropertyChecker {
+        match self.kind {
+            Kind::Clock => sim
+                .component::<ClockCheckerHost>(self.id)
+                .expect("checker handle must belong to this simulation")
+                .checker(),
+            Kind::Tx => sim
+                .component::<TxCheckerHost>(self.id)
+                .expect("checker handle must belong to this simulation")
+                .checker(),
+        }
+    }
+
+    /// Mutable access to the wrapped [`PropertyChecker`] (e.g. to disable
+    /// the evaluation-table optimization for ablation runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to `sim`.
+    #[must_use]
+    pub fn checker_mut<'s>(&self, sim: &'s mut Simulation) -> &'s mut PropertyChecker {
+        match self.kind {
+            Kind::Clock => sim
+                .component_mut::<ClockCheckerHost>(self.id)
+                .expect("checker handle must belong to this simulation")
+                .checker_mut(),
+            Kind::Tx => sim
+                .component_mut::<TxCheckerHost>(self.id)
+                .expect("checker handle must belong to this simulation")
+                .checker_mut(),
+        }
+    }
+}

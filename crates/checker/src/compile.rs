@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use desim::Simulation;
 use psl::nnf::to_nnf;
-use psl::{Atom, ClockedProperty, ClockEdge, EvalContext, Property};
+use psl::{Atom, ClockEdge, ClockedProperty, EvalContext, Property};
 
 use crate::monitor::{Lit, LitTest, Mx, PropertyChecker, M};
 
@@ -37,7 +37,10 @@ impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompileError::MissingSignal { signal } => {
-                write!(f, "signal `{signal}` does not exist in the simulation (was it abstracted away?)")
+                write!(
+                    f,
+                    "signal `{signal}` does not exist in the simulation (was it abstracted away?)"
+                )
             }
             CompileError::UnsupportedNegation => f.write_str("negation over non-atomic property"),
         }
@@ -96,9 +99,10 @@ fn translate(p: &Property, sim: &Simulation) -> Result<M, CompileError> {
         Property::Or(a, b) => Rc::new(Mx::Or(translate(a, sim)?, translate(b, sim)?)),
         Property::Implies(..) => unreachable!("implication is eliminated by NNF"),
         Property::Next { n, inner } => Rc::new(Mx::NextN(*n, translate(inner, sim)?)),
-        Property::NextEt { eps_ns, inner, .. } => {
-            Rc::new(Mx::NextEt { eps_ns: *eps_ns, inner: translate(inner, sim)? })
-        }
+        Property::NextEt { eps_ns, inner, .. } => Rc::new(Mx::NextEt {
+            eps_ns: *eps_ns,
+            inner: translate(inner, sim)?,
+        }),
         Property::Until(a, b) => Rc::new(Mx::Until(translate(a, sim)?, translate(b, sim)?)),
         Property::Release(a, b) => Rc::new(Mx::Release(translate(a, sim)?, translate(b, sim)?)),
         Property::Always(inner) => Rc::new(Mx::Always(translate(inner, sim)?)),
@@ -110,12 +114,19 @@ fn resolve(atom: &Atom, negated: bool, sim: &Simulation) -> Result<Lit, CompileE
     let name = atom.signal();
     let sig = sim
         .signal_id(name)
-        .ok_or_else(|| CompileError::MissingSignal { signal: name.to_owned() })?;
+        .ok_or_else(|| CompileError::MissingSignal {
+            signal: name.to_owned(),
+        })?;
     let test = match atom {
         Atom::Bool(_) => LitTest::Bool,
         Atom::Cmp { op, value, .. } => LitTest::Cmp(*op, *value),
     };
-    Ok(Lit { sig, name: name.into(), test, negated })
+    Ok(Lit {
+        sig,
+        name: name.into(),
+        test,
+        negated,
+    })
 }
 
 #[cfg(test)]
@@ -152,7 +163,12 @@ mod tests {
         let sim = sim_with(&["rdy"]);
         let p: ClockedProperty = "always (!ds || rdy) @clk_pos".parse().unwrap();
         let err = compile("p", &p, &sim).unwrap_err();
-        assert_eq!(err, CompileError::MissingSignal { signal: "ds".into() });
+        assert_eq!(
+            err,
+            CompileError::MissingSignal {
+                signal: "ds".into()
+            }
+        );
         assert!(err.to_string().contains("abstracted"));
     }
 
@@ -161,7 +177,12 @@ mod tests {
         let sim = sim_with(&["rdy"]);
         let p: ClockedProperty = "always rdy @(clk_pos && mode == 1)".parse().unwrap();
         let err = compile("p", &p, &sim).unwrap_err();
-        assert_eq!(err, CompileError::MissingSignal { signal: "mode".into() });
+        assert_eq!(
+            err,
+            CompileError::MissingSignal {
+                signal: "mode".into()
+            }
+        );
     }
 
     #[test]
@@ -173,17 +194,24 @@ mod tests {
         assert_eq!(checker.lifetime_bound(10), Some(17));
         assert_eq!(checker.lifetime_bound(5), Some(34));
         let q2: ClockedProperty =
-            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b".parse().unwrap();
+            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b"
+                .parse()
+                .unwrap();
         let (checker, _) = compile("q2", &q2, &sim).unwrap();
-        assert_eq!(checker.lifetime_bound(10), None, "until makes the lifetime unbounded");
+        assert_eq!(
+            checker.lifetime_bound(10),
+            None,
+            "until makes the lifetime unbounded"
+        );
     }
 
     #[test]
     fn nnf_applied_before_translation() {
         // Implication and negated conjunction compile fine thanks to NNF.
         let sim = sim_with(&["ds", "indata", "out"]);
-        let p: ClockedProperty =
-            "always ((ds && indata == 0) -> next[17](out != 0)) @clk_pos".parse().unwrap();
+        let p: ClockedProperty = "always ((ds && indata == 0) -> next[17](out != 0)) @clk_pos"
+            .parse()
+            .unwrap();
         let (checker, edge) = compile("p1", &p, &sim).unwrap();
         assert_eq!(edge, Some(ClockEdge::Pos));
         assert_eq!(checker.live_instances(), 0);

@@ -1,8 +1,8 @@
 //! Checker hosts: the components that feed evaluation events to a
 //! [`PropertyChecker`].
 
-use desim::{Component, ComponentId, Event, SimCtx, SignalId, Simulation};
-use psl::{ClockedProperty, ClockEdge};
+use desim::{Component, ComponentId, Event, SignalId, SimCtx, Simulation};
+use psl::{ClockEdge, ClockedProperty};
 use tlmkit::TransactionBus;
 
 use crate::compile::{compile, CompileError};
@@ -26,6 +26,43 @@ pub struct ClockCheckerHost {
     last_clk: u64,
 }
 
+/// Compiles `property` and installs a [`ClockCheckerHost`] sampling at the
+/// edges of `clk` required by the property's clock context.
+pub(crate) fn install_clock_host(
+    sim: &mut Simulation,
+    clk: SignalId,
+    name: &str,
+    property: &ClockedProperty,
+) -> Result<ComponentId, InstallError> {
+    let (checker, edge) = compile(name, property, sim)?;
+    let edge = edge.ok_or(InstallError::WrongContext)?;
+    let host = ClockCheckerHost {
+        checker,
+        clk,
+        edge,
+        last_clk: 0,
+    };
+    let id = sim.add_component(host);
+    sim.subscribe(clk, id, KIND_CLK);
+    Ok(id)
+}
+
+/// Compiles `property` and installs a [`TxCheckerHost`] observing `bus`.
+pub(crate) fn install_tx_host(
+    sim: &mut Simulation,
+    bus: &TransactionBus,
+    name: &str,
+    property: &ClockedProperty,
+) -> Result<ComponentId, InstallError> {
+    let (checker, edge) = compile(name, property, sim)?;
+    if edge.is_some() {
+        return Err(InstallError::WrongContext);
+    }
+    let id = sim.add_component(TxCheckerHost { checker });
+    bus.subscribe(id, KIND_TX);
+    Ok(id)
+}
+
 impl ClockCheckerHost {
     /// Compiles `property` and installs a host sampling at the edges of
     /// `clk` required by the property's clock context.
@@ -35,18 +72,14 @@ impl ClockCheckerHost {
     /// - [`CompileError`] from checker synthesis;
     /// - a property with a transaction context is rejected (use
     ///   [`TxCheckerHost`]).
+    #[deprecated(note = "use `Checker::attach` with `Binding::clock` instead")]
     pub fn install(
         sim: &mut Simulation,
         clk: SignalId,
         name: &str,
         property: &ClockedProperty,
     ) -> Result<ComponentId, InstallError> {
-        let (checker, edge) = compile(name, property, sim)?;
-        let edge = edge.ok_or(InstallError::WrongContext)?;
-        let host = ClockCheckerHost { checker, clk, edge, last_clk: 0 };
-        let id = sim.add_component(host);
-        sim.subscribe(clk, id, KIND_CLK);
-        Ok(id)
+        install_clock_host(sim, clk, name, property)
     }
 
     /// Finalizes the checker at simulation end `end_ns` and returns the
@@ -112,19 +145,14 @@ impl TxCheckerHost {
     /// - [`CompileError`] from checker synthesis;
     /// - a property with a clock context is rejected (abstract it first,
     ///   then install; or use [`ClockCheckerHost`]).
+    #[deprecated(note = "use `Checker::attach` with `Binding::bus` instead")]
     pub fn install(
         sim: &mut Simulation,
         bus: &TransactionBus,
         name: &str,
         property: &ClockedProperty,
     ) -> Result<ComponentId, InstallError> {
-        let (checker, edge) = compile(name, property, sim)?;
-        if edge.is_some() {
-            return Err(InstallError::WrongContext);
-        }
-        let id = sim.add_component(TxCheckerHost { checker });
-        bus.subscribe(id, KIND_TX);
-        Ok(id)
+        install_tx_host(sim, bus, name, property)
     }
 
     /// Finalizes the checker at simulation end `end_ns` and returns the
@@ -170,8 +198,17 @@ impl Component for TxCheckerHost {
 pub enum InstallError {
     /// Checker synthesis failed.
     Compile(CompileError),
-    /// Clock-context property given to the transaction host or vice versa.
+    /// Clock-context property given to the transaction host or vice versa
+    /// (only reachable through the deprecated per-host installers; the
+    /// [`Checker::attach`](crate::Checker::attach) facade dispatches on the
+    /// context instead).
     WrongContext,
+    /// The property samples at clock edges but the
+    /// [`Binding`](crate::Binding) carries no clock signal.
+    MissingClock,
+    /// The property samples at transaction boundaries but the
+    /// [`Binding`](crate::Binding) carries no transaction bus.
+    MissingBus,
 }
 
 impl std::fmt::Display for InstallError {
@@ -181,6 +218,12 @@ impl std::fmt::Display for InstallError {
             InstallError::WrongContext => {
                 f.write_str("property context does not match the host kind")
             }
+            InstallError::MissingClock => {
+                f.write_str("clock-context property, but the binding has no clock signal")
+            }
+            InstallError::MissingBus => {
+                f.write_str("transaction-context property, but the binding has no bus")
+            }
         }
     }
 }
@@ -189,7 +232,7 @@ impl std::error::Error for InstallError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             InstallError::Compile(e) => Some(e),
-            InstallError::WrongContext => None,
+            _ => None,
         }
     }
 }
@@ -206,6 +249,7 @@ impl From<CompileError> for InstallError {
 ///
 /// Fails on the first property that cannot be installed, reporting its
 /// index.
+#[deprecated(note = "use `Checker::attach_all` with `Binding::clock` instead")]
 pub fn install_clock_checkers(
     sim: &mut Simulation,
     clk: SignalId,
@@ -214,7 +258,7 @@ pub fn install_clock_checkers(
     properties
         .iter()
         .enumerate()
-        .map(|(i, (name, p))| ClockCheckerHost::install(sim, clk, name, p).map_err(|e| (i, e)))
+        .map(|(i, (name, p))| install_clock_host(sim, clk, name, p).map_err(|e| (i, e)))
         .collect()
 }
 
@@ -224,6 +268,7 @@ pub fn install_clock_checkers(
 ///
 /// Fails on the first property that cannot be installed, reporting its
 /// index.
+#[deprecated(note = "use `Checker::attach_all` with `Binding::bus` instead")]
 pub fn install_tx_checkers(
     sim: &mut Simulation,
     bus: &TransactionBus,
@@ -232,7 +277,7 @@ pub fn install_tx_checkers(
     properties
         .iter()
         .enumerate()
-        .map(|(i, (name, p))| TxCheckerHost::install(sim, bus, name, p).map_err(|e| (i, e)))
+        .map(|(i, (name, p))| install_tx_host(sim, bus, name, p).map_err(|e| (i, e)))
         .collect()
 }
 
@@ -241,6 +286,7 @@ pub fn install_tx_checkers(
 /// # Panics
 ///
 /// Panics if an id does not refer to a [`ClockCheckerHost`] of `sim`.
+#[deprecated(note = "use `Checker::collect` on handles from `Checker::attach_all` instead")]
 pub fn collect_clock_reports(
     sim: &mut Simulation,
     hosts: &[ComponentId],
@@ -261,11 +307,8 @@ pub fn collect_clock_reports(
 /// # Panics
 ///
 /// Panics if an id does not refer to a [`TxCheckerHost`] of `sim`.
-pub fn collect_tx_reports(
-    sim: &mut Simulation,
-    hosts: &[ComponentId],
-    end_ns: u64,
-) -> CheckReport {
+#[deprecated(note = "use `Checker::collect` on handles from `Checker::attach_all` instead")]
+pub fn collect_tx_reports(sim: &mut Simulation, hosts: &[ComponentId], end_ns: u64) -> CheckReport {
     hosts
         .iter()
         .map(|&id| {
@@ -279,6 +322,7 @@ pub fn collect_tx_reports(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attach::{Binding, Checker};
     use desim::SimTime;
     use rtlkit::{Clock, EdgeDetector};
     use tlmkit::Transaction;
@@ -331,10 +375,9 @@ mod tests {
     fn rtl_checker_passes_correct_latency() {
         let (mut sim, clk) = pulse_sim(3, 17);
         let p: ClockedProperty = "always (!ds || next[17] rdy) @clk_pos".parse().unwrap();
-        let host = ClockCheckerHost::install(&mut sim, clk, "p4", &p).unwrap();
+        let checker = Checker::attach(&mut sim, "p4", &p, Binding::clock(clk)).unwrap();
         sim.run_until(SimTime::from_ns(400));
-        let report =
-            sim.component_mut::<ClockCheckerHost>(host).unwrap().finalize(400);
+        let report = checker.finalize(&mut sim, 400);
         assert_eq!(report.failure_count, 0, "{report}");
         assert_eq!(report.completions, 1);
         assert!(report.activations >= 30);
@@ -344,15 +387,23 @@ mod tests {
     fn rtl_checker_catches_wrong_latency() {
         let (mut sim, clk) = pulse_sim(3, 16); // one cycle early
         let p: ClockedProperty = "always (!ds || next[17] rdy) @clk_pos".parse().unwrap();
-        let host = ClockCheckerHost::install(&mut sim, clk, "p4", &p).unwrap();
+        let checker = Checker::attach(&mut sim, "p4", &p, Binding::clock(clk)).unwrap();
         sim.run_until(SimTime::from_ns(400));
-        let report =
-            sim.component_mut::<ClockCheckerHost>(host).unwrap().finalize(400);
+        let report = checker.finalize(&mut sim, 400);
         assert_eq!(report.failure_count, 1, "{report}");
     }
 
     #[test]
-    fn clock_host_rejects_transaction_context() {
+    fn clock_only_binding_rejects_transaction_context() {
+        let (mut sim, clk) = pulse_sim(3, 17);
+        let p: ClockedProperty = "always rdy @T_b".parse().unwrap();
+        let err = Checker::attach(&mut sim, "p", &p, Binding::clock(clk)).unwrap_err();
+        assert_eq!(err, InstallError::MissingBus);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_clock_shim_rejects_transaction_context() {
         let (mut sim, clk) = pulse_sim(3, 17);
         let p: ClockedProperty = "always rdy @T_b".parse().unwrap();
         let err = ClockCheckerHost::install(&mut sim, clk, "p", &p).unwrap_err();
@@ -389,7 +440,11 @@ mod tests {
         let bus = TransactionBus::new();
         let ds = sim.add_signal("ds", 0);
         let rdy = sim.add_signal("rdy", 0);
-        let model = sim.add_component(AtModel { bus: bus.clone(), ds, rdy });
+        let model = sim.add_component(AtModel {
+            bus: bus.clone(),
+            ds,
+            rdy,
+        });
         sim.schedule(SimTime::from_ns(10), model, 0);
         (sim, bus)
     }
@@ -398,9 +453,9 @@ mod tests {
     fn tlm_wrapper_passes_q3_on_at_model() {
         let (mut sim, bus) = at_sim();
         let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b".parse().unwrap();
-        let host = TxCheckerHost::install(&mut sim, &bus, "q3", &q3).unwrap();
+        let checker = Checker::attach(&mut sim, "q3", &q3, Binding::bus(&bus)).unwrap();
         sim.run_to_completion();
-        let report = sim.component_mut::<TxCheckerHost>(host).unwrap().finalize(200);
+        let report = checker.finalize(&mut sim, 200);
         assert_eq!(report.failure_count, 0, "{report}");
         assert_eq!(report.completions, 1);
         assert_eq!(report.activations, 2);
@@ -413,15 +468,26 @@ mod tests {
         // (DESIGN.md §5b): strict Def. III.3 semantics must fail it.
         let (mut sim, bus) = at_sim();
         let q2: ClockedProperty =
-            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b".parse().unwrap();
-        let host = TxCheckerHost::install(&mut sim, &bus, "q2", &q2).unwrap();
+            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b"
+                .parse()
+                .unwrap();
+        let checker = Checker::attach(&mut sim, "q2", &q2, Binding::bus(&bus)).unwrap();
         sim.run_to_completion();
-        let report = sim.component_mut::<TxCheckerHost>(host).unwrap().finalize(200);
+        let report = checker.finalize(&mut sim, 200);
         assert!(report.failure_count >= 1, "{report}");
     }
 
     #[test]
-    fn tx_host_rejects_clock_context() {
+    fn bus_only_binding_rejects_clock_context() {
+        let (mut sim, bus) = at_sim();
+        let p: ClockedProperty = "always rdy @clk_pos".parse().unwrap();
+        let err = Checker::attach(&mut sim, "p", &p, Binding::bus(&bus)).unwrap_err();
+        assert_eq!(err, InstallError::MissingClock);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tx_shim_rejects_clock_context() {
         let (mut sim, bus) = at_sim();
         let p: ClockedProperty = "always rdy @clk_pos".parse().unwrap();
         let err = TxCheckerHost::install(&mut sim, &bus, "p", &p).unwrap_err();
@@ -429,16 +495,39 @@ mod tests {
     }
 
     #[test]
-    fn batch_install_reports_index() {
+    fn batch_attach_reports_index() {
         let (mut sim, bus) = at_sim();
         let good: ClockedProperty = "always rdy @T_b".parse().unwrap();
         let bad: ClockedProperty = "always ghost @T_b".parse().unwrap();
-        let err = install_tx_checkers(
+        let err = Checker::attach_all(
             &mut sim,
-            &bus,
             &[("good".into(), good), ("bad".into(), bad)],
+            Binding::bus(&bus),
         )
         .unwrap_err();
         assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn full_binding_dispatches_on_context() {
+        // A mixed simulation: a clock plus a transaction bus; one property
+        // of each context attaches through the same binding.
+        let mut sim = Simulation::new();
+        let clk = Clock::install(&mut sim, "clk", 10);
+        let bus = TransactionBus::new();
+        let _rdy = sim.add_signal("rdy", 1);
+        let binding = Binding::full(clk.signal, &bus);
+        let clocked: ClockedProperty = "always rdy @clk_pos".parse().unwrap();
+        let tx: ClockedProperty = "always rdy @T_b".parse().unwrap();
+        let checkers = Checker::attach_all(
+            &mut sim,
+            &[("clk".into(), clocked), ("tx".into(), tx)],
+            binding,
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_ns(100));
+        let report = Checker::collect(&mut sim, &checkers, 100);
+        assert_eq!(report.properties.len(), 2);
+        assert!(report.all_pass(), "{report}");
     }
 }

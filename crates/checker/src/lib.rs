@@ -11,7 +11,10 @@
 //! evaluates the operand, and an event past an unconsumed deadline raises a
 //! failure — exactly the wrapper behaviour of Section IV.
 //!
-//! Two hosts drive checkers:
+//! Checkers are attached through the [`Checker::attach`] facade: the
+//! caller builds a [`Binding`] describing what the simulation offers (a
+//! clock signal, a transaction bus, or both) and the facade dispatches on
+//! the property's evaluation context to one of two hosts:
 //!
 //! - [`ClockCheckerHost`]: samples at clock edges (RTL verification, and
 //!   the unabstracted-property case);
@@ -22,6 +25,9 @@
 //!   activates a new instance at every transaction matching the
 //!   transaction context (Section IV, points 1–4).
 //!
+//! The per-host `install` entry points are deprecated shims kept for
+//! compatibility.
+//!
 //! On `ε` anchoring: Def. III.3 phrases `ε` relative to "the firing of the
 //! property"; for the nested occurrences produced by Algorithm III.1 inside
 //! `until`/`release` iterations, the only coherent generalization (and the
@@ -29,15 +35,20 @@
 //! instant the operator is *reached* during evaluation — the two coincide
 //! for top-level occurrences such as the paper's `q1`/`q3`.
 
+mod attach;
 mod compile;
 mod host;
 mod monitor;
 mod report;
 
+pub use attach::{Binding, Checker};
 pub use compile::{compile, CompileError};
+#[allow(deprecated)]
 pub use host::{
     collect_clock_reports, collect_tx_reports, install_clock_checkers, install_tx_checkers,
-    ClockCheckerHost, InstallError, TxCheckerHost,
 };
+pub use host::{ClockCheckerHost, InstallError, TxCheckerHost};
 pub use monitor::{PropertyChecker, WakePlan};
-pub use report::{CheckReport, FailReason, Failure, PropertyReport, Verdict, MAX_RECORDED_FAILURES};
+pub use report::{
+    CheckReport, FailReason, Failure, PropertyReport, Verdict, MAX_RECORDED_FAILURES,
+};

@@ -65,10 +65,16 @@ pub(crate) enum Mx {
     /// `next[n]`: operand holds `n` evaluation events ahead.
     NextN(u32, M),
     /// `next_ε^τ`, not yet reached: anchors to `now + eps` when progressed.
-    NextEt { eps_ns: u64, inner: M },
+    NextEt {
+        eps_ns: u64,
+        inner: M,
+    },
     /// An anchored obligation: operand must be evaluated at the event at
     /// exactly `deadline_ns`; an event past the deadline fails it.
-    At { deadline_ns: u64, inner: M },
+    At {
+        deadline_ns: u64,
+        inner: M,
+    },
     Until(M, M),
     Release(M, M),
     Always(M),
@@ -138,9 +144,10 @@ pub(crate) fn progress(m: &M, read: &dyn Fn(SignalId) -> u64, now: u64) -> M {
         }
         Mx::NextN(1, inner) => Rc::clone(inner),
         Mx::NextN(n, inner) => Rc::new(Mx::NextN(n - 1, Rc::clone(inner))),
-        Mx::NextEt { eps_ns, inner } => {
-            Rc::new(Mx::At { deadline_ns: now + eps_ns, inner: Rc::clone(inner) })
-        }
+        Mx::NextEt { eps_ns, inner } => Rc::new(Mx::At {
+            deadline_ns: now + eps_ns,
+            inner: Rc::clone(inner),
+        }),
         Mx::At { deadline_ns, inner } => {
             if now < *deadline_ns {
                 Rc::clone(m) // event not consumed by this obligation
@@ -315,7 +322,8 @@ impl PropertyChecker {
     #[must_use]
     pub fn lifetime_bound(&self, clock_period_ns: u64) -> Option<usize> {
         assert!(clock_period_ns > 0, "clock period must be positive");
-        self.completion_bound_ns.map(|b| (b / clock_period_ns) as usize)
+        self.completion_bound_ns
+            .map(|b| (b / clock_period_ns) as usize)
     }
 
     /// Disables the evaluation-table optimization: every instance is
@@ -390,11 +398,17 @@ impl PropertyChecker {
             match &*residual {
                 Mx::True => self.report.vacuous += 1,
                 Mx::False => {
-                    self.report
-                        .record_failure(Failure { fire_ns: now, fail_ns: now, reason: FailReason::Violated });
+                    self.report.record_failure(Failure {
+                        fire_ns: now,
+                        fail_ns: now,
+                        reason: FailReason::Violated,
+                    });
                 }
                 _ => {
-                    let slot = self.alloc(Instance { residual: Rc::clone(&residual), fire_ns: now });
+                    let slot = self.alloc(Instance {
+                        residual: Rc::clone(&residual),
+                        fire_ns: now,
+                    });
                     self.register(slot, &residual);
                 }
             }
@@ -494,7 +508,11 @@ impl PropertyChecker {
 
     fn fail(&mut self, slot: usize, now: u64, reason: FailReason) {
         let fire_ns = self.pool[slot].as_ref().expect("live slot").fire_ns;
-        self.report.record_failure(Failure { fire_ns, fail_ns: now, reason });
+        self.report.record_failure(Failure {
+            fire_ns,
+            fail_ns: now,
+            reason,
+        });
         self.release(slot);
     }
 }
@@ -578,7 +596,10 @@ mod tests {
 
     #[test]
     fn next_et_anchors_and_resolves_at_deadline() {
-        let f = Rc::new(Mx::NextEt { eps_ns: 170, inner: lit(0, "rdy") });
+        let f = Rc::new(Mx::NextEt {
+            eps_ns: 170,
+            inner: lit(0, "rdy"),
+        });
         let hi = env(&[(0, 1)]);
         let lo = env(&[]);
         let anchored = progress(&f, &lo, 10);
@@ -612,10 +633,15 @@ mod tests {
     fn release_progression() {
         let r = Rc::new(Mx::Release(lit(0, "done"), lit(1, "ok")));
         // ok low: fails.
-        assert!(matches!(*progress(&r, &env(&[(0, 1)]), 10), Mx::False
-            ), "ok must hold up to and including the releasing instant");
+        assert!(
+            matches!(*progress(&r, &env(&[(0, 1)]), 10), Mx::False),
+            "ok must hold up to and including the releasing instant"
+        );
         // ok high, done high: released.
-        assert!(matches!(*progress(&r, &env(&[(0, 1), (1, 1)]), 10), Mx::True));
+        assert!(matches!(
+            *progress(&r, &env(&[(0, 1), (1, 1)]), 10),
+            Mx::True
+        ));
         // ok high, done low: continues.
         let res = progress(&r, &env(&[(1, 1)]), 10);
         assert_eq!(res, r);
@@ -623,11 +649,20 @@ mod tests {
 
     #[test]
     fn wake_plan_classifies() {
-        let at = Rc::new(Mx::At { deadline_ns: 170, inner: lit(0, "a") });
+        let at = Rc::new(Mx::At {
+            deadline_ns: 170,
+            inner: lit(0, "a"),
+        });
         assert_eq!(wake_plan(&at), WakePlan::AtTime(170));
         let two = m_or(
-            Rc::new(Mx::At { deadline_ns: 200, inner: lit(0, "a") }),
-            Rc::new(Mx::At { deadline_ns: 150, inner: lit(1, "b") }),
+            Rc::new(Mx::At {
+                deadline_ns: 200,
+                inner: lit(0, "a"),
+            }),
+            Rc::new(Mx::At {
+                deadline_ns: 150,
+                inner: lit(1, "b"),
+            }),
         );
         assert_eq!(wake_plan(&two), WakePlan::AtTime(150));
         let until = Rc::new(Mx::Until(lit(0, "a"), lit(1, "b")));
@@ -641,7 +676,10 @@ mod tests {
     fn q3_checker() -> PropertyChecker {
         let body = m_or(
             nlit(0, "ds"),
-            Rc::new(Mx::NextEt { eps_ns: 170, inner: lit(1, "rdy") }),
+            Rc::new(Mx::NextEt {
+                eps_ns: 170,
+                inner: lit(1, "rdy"),
+            }),
         );
         PropertyChecker::new("q3".into(), body, true, None)
     }
@@ -739,7 +777,10 @@ mod tests {
         }
         let r = c.report();
         assert_eq!(r.completions, 5);
-        assert_eq!(r.max_live_instances, 1, "slots are reset and reused (Section IV, point 3)");
+        assert_eq!(
+            r.max_live_instances, 1,
+            "slots are reset and reused (Section IV, point 3)"
+        );
     }
 
     #[test]
@@ -752,7 +793,15 @@ mod tests {
             c.on_event(&env(&[(0, 1), (1, 1)]), 10 + 10 * k);
         }
         let r = c.report();
-        assert!(r.max_live_instances <= 18, "max live = {}", r.max_live_instances);
-        assert!(r.max_live_instances >= 17, "max live = {}", r.max_live_instances);
+        assert!(
+            r.max_live_instances <= 18,
+            "max live = {}",
+            r.max_live_instances
+        );
+        assert!(
+            r.max_live_instances >= 17,
+            "max live = {}",
+            r.max_live_instances
+        );
     }
 }

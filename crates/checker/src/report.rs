@@ -41,7 +41,11 @@ pub struct Failure {
 
 impl fmt::Display for Failure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fired @{}ns, failed @{}ns: {}", self.fire_ns, self.fail_ns, self.reason)
+        write!(
+            f,
+            "fired @{}ns, failed @{}ns: {}",
+            self.fire_ns, self.fail_ns, self.reason
+        )
     }
 }
 
@@ -125,6 +129,38 @@ impl PropertyReport {
             self.failures.push(failure);
         }
     }
+
+    /// Folds `other` — the same property observed over another run — into
+    /// `self`: counters add, recorded failures concatenate up to
+    /// [`MAX_RECORDED_FAILURES`], and the live-instance high-water mark
+    /// takes the maximum across runs.
+    ///
+    /// Merging is associative, so a campaign may fold per-run reports in
+    /// any grouping and obtain the same aggregate — as long as the overall
+    /// run *order* is fixed (the failure list keeps first-come detail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports name different properties.
+    pub fn merge(&mut self, other: &PropertyReport) {
+        assert_eq!(
+            self.name, other.name,
+            "merging reports of different properties"
+        );
+        self.activations += other.activations;
+        self.vacuous += other.vacuous;
+        self.completions += other.completions;
+        self.failure_count += other.failure_count;
+        for failure in &other.failures {
+            if self.failures.len() >= MAX_RECORDED_FAILURES {
+                break;
+            }
+            self.failures.push(*failure);
+        }
+        self.pending += other.pending;
+        self.max_live_instances = self.max_live_instances.max(other.max_live_instances);
+        self.evaluations += other.evaluations;
+    }
 }
 
 impl fmt::Display for PropertyReport {
@@ -174,11 +210,41 @@ impl CheckReport {
     pub fn property(&self, name: &str) -> Option<&PropertyReport> {
         self.properties.iter().find(|p| p.name == name)
     }
+
+    /// Folds another run's suite report into `self`, property by property
+    /// (see [`PropertyReport::merge`]). An empty `self` adopts `other`'s
+    /// property list, so a campaign can fold per-run reports into a
+    /// `CheckReport::new()` accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both reports are non-empty and their property lists
+    /// differ in length or order — merged runs must install the same
+    /// suite.
+    pub fn merge(&mut self, other: &CheckReport) {
+        if self.properties.is_empty() {
+            self.properties = other.properties.clone();
+            return;
+        }
+        if other.properties.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.properties.len(),
+            other.properties.len(),
+            "merging suite reports of different sizes"
+        );
+        for (mine, theirs) in self.properties.iter_mut().zip(&other.properties) {
+            mine.merge(theirs);
+        }
+    }
 }
 
 impl FromIterator<PropertyReport> for CheckReport {
     fn from_iter<I: IntoIterator<Item = PropertyReport>>(iter: I) -> CheckReport {
-        CheckReport { properties: iter.into_iter().collect() }
+        CheckReport {
+            properties: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -199,7 +265,11 @@ mod tests {
     fn verdicts() {
         let mut r = PropertyReport::new("p".into());
         assert_eq!(r.verdict(), Verdict::Pass);
-        r.record_failure(Failure { fire_ns: 1, fail_ns: 2, reason: FailReason::Violated });
+        r.record_failure(Failure {
+            fire_ns: 1,
+            fail_ns: 2,
+            reason: FailReason::Violated,
+        });
         assert_eq!(r.verdict(), Verdict::Fail);
         assert_eq!(r.failure_count, 1);
     }
@@ -208,7 +278,11 @@ mod tests {
     fn failure_recording_caps_detail() {
         let mut r = PropertyReport::new("p".into());
         for i in 0..(MAX_RECORDED_FAILURES as u64 + 10) {
-            r.record_failure(Failure { fire_ns: i, fail_ns: i, reason: FailReason::Violated });
+            r.record_failure(Failure {
+                fire_ns: i,
+                fail_ns: i,
+                reason: FailReason::Violated,
+            });
         }
         assert_eq!(r.failures.len(), MAX_RECORDED_FAILURES);
         assert_eq!(r.failure_count, MAX_RECORDED_FAILURES as u64 + 10);
@@ -218,7 +292,11 @@ mod tests {
     fn check_report_aggregates() {
         let ok = PropertyReport::new("ok".into());
         let mut bad = PropertyReport::new("bad".into());
-        bad.record_failure(Failure { fire_ns: 0, fail_ns: 5, reason: FailReason::Violated });
+        bad.record_failure(Failure {
+            fire_ns: 0,
+            fail_ns: 5,
+            reason: FailReason::Violated,
+        });
         let report: CheckReport = [ok, bad].into_iter().collect();
         assert!(!report.all_pass());
         assert_eq!(report.total_failures(), 1);
@@ -228,12 +306,96 @@ mod tests {
     }
 
     #[test]
+    fn reports_cross_thread_boundaries() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<PropertyReport>();
+        assert_send::<CheckReport>();
+        assert_send::<Failure>();
+    }
+
+    #[test]
+    fn property_merge_accumulates() {
+        let mut a = PropertyReport::new("p".into());
+        a.activations = 5;
+        a.completions = 4;
+        a.max_live_instances = 2;
+        a.record_failure(Failure {
+            fire_ns: 1,
+            fail_ns: 2,
+            reason: FailReason::Violated,
+        });
+        let mut b = PropertyReport::new("p".into());
+        b.activations = 3;
+        b.vacuous = 1;
+        b.pending = 2;
+        b.max_live_instances = 7;
+        b.record_failure(Failure {
+            fire_ns: 10,
+            fail_ns: 20,
+            reason: FailReason::MissedDeadline { deadline_ns: 15 },
+        });
+        a.merge(&b);
+        assert_eq!(a.activations, 8);
+        assert_eq!(a.vacuous, 1);
+        assert_eq!(a.completions, 4);
+        assert_eq!(a.pending, 2);
+        assert_eq!(a.failure_count, 2);
+        assert_eq!(a.failures.len(), 2);
+        assert_eq!(a.failures[1].fire_ns, 10);
+        assert_eq!(a.max_live_instances, 7);
+    }
+
+    #[test]
+    fn property_merge_caps_recorded_failures() {
+        let mut a = PropertyReport::new("p".into());
+        let mut b = PropertyReport::new("p".into());
+        for i in 0..MAX_RECORDED_FAILURES as u64 {
+            a.record_failure(Failure {
+                fire_ns: i,
+                fail_ns: i,
+                reason: FailReason::Violated,
+            });
+            b.record_failure(Failure {
+                fire_ns: i,
+                fail_ns: i,
+                reason: FailReason::Violated,
+            });
+        }
+        a.merge(&b);
+        assert_eq!(a.failures.len(), MAX_RECORDED_FAILURES);
+        assert_eq!(a.failure_count, 2 * MAX_RECORDED_FAILURES as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "different properties")]
+    fn property_merge_rejects_name_mismatch() {
+        let mut a = PropertyReport::new("p".into());
+        a.merge(&PropertyReport::new("q".into()));
+    }
+
+    #[test]
+    fn suite_merge_folds_from_empty_accumulator() {
+        let mut p = PropertyReport::new("p".into());
+        p.activations = 2;
+        let run: CheckReport = [p].into_iter().collect();
+        let mut acc = CheckReport::new();
+        acc.merge(&run);
+        acc.merge(&run);
+        acc.merge(&CheckReport::new());
+        assert_eq!(acc.properties.len(), 1);
+        assert_eq!(acc.properties[0].activations, 4);
+    }
+
+    #[test]
     fn displays() {
         let f = Failure {
             fire_ns: 10,
             fail_ns: 350,
             reason: FailReason::MissedDeadline { deadline_ns: 340 },
         };
-        assert_eq!(f.to_string(), "fired @10ns, failed @350ns: no event at required instant 340ns");
+        assert_eq!(
+            f.to_string(),
+            "fired @10ns, failed @350ns: no event at required instant 340ns"
+        );
     }
 }

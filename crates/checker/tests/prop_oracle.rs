@@ -1,19 +1,22 @@
-//! Property-based equivalence between the online checker (progression
+//! Randomized equivalence between the online checker (progression
 //! monitors + wrapper) and the finite-trace oracle in [`psl::trace`].
 //!
-//! For random simple-subset properties and random transaction streams,
-//! a non-repeating checker's verdict must agree with evaluating the
-//! property on the recorded trace at position 0, whenever the checker
-//! reached a verdict (completed or failed) before the stream ended.
+//! For random simple-subset properties and random transaction streams, a
+//! non-repeating checker's verdict must agree with evaluating the property
+//! on the recorded trace at position 0, whenever the checker reached a
+//! verdict (completed or failed) before the stream ended.
+//!
+//! Cases come from a seeded [`TinyRng`] loop (the offline substitute for
+//! `proptest`); failure messages carry the case index for reproduction.
 
-use proptest::prelude::*;
-use std::collections::HashMap;
-
-use abv_checker::{install_tx_checkers, TxCheckerHost, Verdict};
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use abv_checker::{Binding, Checker, Verdict};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use psl::trace::{Step, Trace};
 use psl::{Atom, ClockedProperty, EvalContext, Property};
+use tinyrng::TinyRng;
 use tlmkit::{Transaction, TransactionBus};
+
+const CASES: u64 = 600;
 
 const SIGNALS: &[&str] = &["a", "b", "c"];
 
@@ -39,45 +42,46 @@ impl Component for Replay {
     }
 }
 
-fn arb_atom() -> impl Strategy<Value = Property> {
-    prop_oneof![
-        prop::sample::select(SIGNALS).prop_map(|s| Property::Atom(Atom::bool(s))),
-        prop::sample::select(SIGNALS).prop_map(|s| Property::not(Property::Atom(Atom::bool(s)))),
-        (prop::sample::select(SIGNALS), 0u64..3).prop_map(|(s, v)| Property::cmp(s, psl::CmpOp::Eq, v)),
-    ]
+fn gen_atom(rng: &mut TinyRng) -> Property {
+    match rng.range_u32(0, 3) {
+        0 => Property::Atom(Atom::bool(*rng.pick(SIGNALS))),
+        1 => Property::not(Property::Atom(Atom::bool(*rng.pick(SIGNALS)))),
+        _ => Property::cmp(*rng.pick(SIGNALS), psl::CmpOp::Eq, rng.range_u64(0, 3)),
+    }
 }
 
 /// Simple-subset temporal properties over the shared signals, including
-/// `next[n]` and `next_ε^τ` (with offsets that are multiples of the
-/// 10 ns stream spacing, plus deliberately unaligned ones).
-fn arb_property() -> impl Strategy<Value = Property> {
-    let leaf = arb_atom();
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.and(y)),
-            (arb_atom(), inner.clone()).prop_map(|(x, y)| x.or(y)),
-            (1u32..4, inner.clone()).prop_map(|(n, p)| Property::next_n(n, p)),
-            (1u32..4, prop::sample::select(vec![10u64, 20, 30, 15]), inner.clone())
-                .prop_map(|(tau, eps, p)| Property::next_et(tau, eps, p)),
-            (arb_atom(), inner.clone()).prop_map(|(x, y)| x.until(y)),
-            (arb_atom(), inner).prop_map(|(x, y)| x.release(y)),
-        ]
-    })
+/// `next[n]` and `next_ε^τ` (with offsets that are multiples of the 10 ns
+/// stream spacing, plus deliberately unaligned ones).
+fn gen_property(rng: &mut TinyRng, depth: u32) -> Property {
+    if depth == 0 {
+        return gen_atom(rng);
+    }
+    match rng.range_u32(0, 7) {
+        0 => gen_property(rng, depth - 1).and(gen_property(rng, depth - 1)),
+        1 => gen_atom(rng).or(gen_property(rng, depth - 1)),
+        2 => Property::next_n(rng.range_u32(1, 4), gen_property(rng, depth - 1)),
+        3 => {
+            let tau = rng.range_u32(1, 4);
+            let eps = *rng.pick(&[10u64, 20, 30, 15]);
+            Property::next_et(tau, eps, gen_property(rng, depth - 1))
+        }
+        4 => gen_atom(rng).until(gen_property(rng, depth - 1)),
+        5 => gen_atom(rng).release(gen_property(rng, depth - 1)),
+        _ => gen_atom(rng),
+    }
 }
 
 /// A transaction stream: strictly increasing times (multiples of 10 ns,
 /// with occasional gaps), random signal values.
-fn arb_stream() -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
-    prop::collection::vec((1u64..=3, prop::collection::vec(0u64..3, SIGNALS.len())), 2..14)
-        .prop_map(|rows| {
-            let mut t = 0;
-            rows.into_iter()
-                .map(|(gap, values)| {
-                    t += gap * 10;
-                    (t, values)
-                })
-                .collect()
+fn gen_stream(rng: &mut TinyRng) -> Vec<(u64, Vec<u64>)> {
+    let mut t = 0;
+    (0..rng.range_usize(2, 14))
+        .map(|_| {
+            t += rng.range_u64(1, 4) * 10;
+            (t, (0..SIGNALS.len()).map(|_| rng.range_u64(0, 3)).collect())
         })
+        .collect()
 }
 
 /// Runs the online checker (non-repeating property) over the stream.
@@ -94,12 +98,15 @@ fn online_verdict(property: &Property, rows: &[(u64, Vec<u64>)]) -> (Verdict, u6
     });
     sim.schedule(SimTime::from_ns(first), model, 0);
     let clocked = ClockedProperty::new(property.clone(), EvalContext::tb());
-    let hosts =
-        install_tx_checkers(&mut sim, &bus, &[("p".to_owned(), clocked)]).expect("installs");
+    let checker = Checker::attach(&mut sim, "p", &clocked, Binding::bus(&bus)).expect("attaches");
     sim.run_to_completion();
     let end = sim.now().as_ns();
-    let report = sim.component_mut::<TxCheckerHost>(hosts[0]).expect("host").finalize(end);
-    (report.verdict(), report.completions + report.vacuous, report.pending)
+    let report = checker.finalize(&mut sim, end);
+    (
+        report.verdict(),
+        report.completions + report.vacuous,
+        report.pending,
+    )
 }
 
 /// Builds the trace the oracle sees (one step per transaction).
@@ -108,41 +115,65 @@ fn trace_of(rows: &[(u64, Vec<u64>)]) -> Trace {
         .map(|(t, values)| {
             Step::new(
                 *t,
-                SIGNALS.iter().zip(values).map(|(n, v)| ((*n).to_owned(), *v)),
+                SIGNALS
+                    .iter()
+                    .zip(values)
+                    .map(|(n, v)| ((*n).to_owned(), *v)),
             )
         })
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// When the online checker reaches a definite verdict before the
-    /// stream ends, it matches the oracle's evaluation at position 0.
-    #[test]
-    fn online_checker_matches_trace_oracle(p in arb_property(), rows in arb_stream()) {
-        let (verdict, resolved_ok, pending) = online_verdict(&p, &rows);
-        let trace = trace_of(&rows);
-        let map_env: HashMap<String, u64> = HashMap::new();
-        let _ = map_env;
-        let expected = trace.eval(&p, 0).expect("signals all defined");
-        if pending == 0 {
-            // Fully resolved: verdicts must agree exactly.
-            let online_pass = verdict == Verdict::Pass;
-            prop_assert_eq!(
-                online_pass, expected,
-                "property {} on rows {:?}: online {:?} vs oracle {}",
-                &p, &rows, verdict, expected
-            );
-            prop_assert!(resolved_ok >= 1 || verdict == Verdict::Fail);
-        } else {
-            // Undetermined online ⇒ the oracle may go either way (its
-            // end-of-trace conventions decide); a FAIL verdict recorded
-            // before the end must still be a real failure though.
-            if verdict == Verdict::Fail {
-                prop_assert!(!expected,
-                    "online failure must imply oracle failure for {} on {:?}", &p, &rows);
-            }
-        }
+fn check_case(p: &Property, rows: &[(u64, Vec<u64>)], label: &str) {
+    let (verdict, resolved_ok, pending) = online_verdict(p, rows);
+    let trace = trace_of(rows);
+    let expected = trace.eval(p, 0).expect("signals all defined");
+    if pending == 0 {
+        // Fully resolved: verdicts must agree exactly.
+        let online_pass = verdict == Verdict::Pass;
+        assert_eq!(
+            online_pass, expected,
+            "{label}: property {p} on rows {rows:?}: online {verdict:?} vs oracle {expected}"
+        );
+        assert!(resolved_ok >= 1 || verdict == Verdict::Fail, "{label}");
+    } else if verdict == Verdict::Fail {
+        // Undetermined online ⇒ the oracle may go either way (its
+        // end-of-trace conventions decide); a FAIL verdict recorded before
+        // the end must still be a real failure though.
+        assert!(
+            !expected,
+            "{label}: online failure must imply oracle failure for {p} on {rows:?}"
+        );
     }
+}
+
+/// When the online checker reaches a definite verdict before the stream
+/// ends, it matches the oracle's evaluation at position 0.
+#[test]
+fn online_checker_matches_trace_oracle() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x0AC1_E001, case);
+        let p = gen_property(&mut rng, 3);
+        let rows = gen_stream(&mut rng);
+        check_case(&p, &rows, &format!("case {case}"));
+    }
+}
+
+/// Regression (ex-proptest shrink): a deadline chain whose middle `next`
+/// lands between stream events.
+#[test]
+fn regression_nested_deadline_chain() {
+    let p = Property::next_et(
+        1,
+        10,
+        Property::next_n(
+            2,
+            Property::next_et(1, 30, Property::not(Property::Atom(Atom::bool("b")))),
+        ),
+    );
+    let rows: Vec<(u64, Vec<u64>)> = [10u64, 20, 30, 50, 60]
+        .iter()
+        .map(|&t| (t, vec![0, 0, 0]))
+        .collect();
+    check_case(&p, &rows, "regression");
 }

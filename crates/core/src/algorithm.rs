@@ -110,13 +110,21 @@ mod tests {
     use super::*;
 
     fn subst(src: &str, c: u64) -> String {
-        next_substitution(&src.parse::<Property>().unwrap(), c).unwrap().to_string()
+        next_substitution(&src.parse::<Property>().unwrap(), c)
+            .unwrap()
+            .to_string()
     }
 
     #[test]
     fn epsilon_is_n_times_clock_period() {
-        assert_eq!(subst("next[17] (out != 0)", 10), "next_et[1, 170] (out != 0)");
-        assert_eq!(subst("next[17] (out != 0)", 7), "next_et[1, 119] (out != 0)");
+        assert_eq!(
+            subst("next[17] (out != 0)", 10),
+            "next_et[1, 170] (out != 0)"
+        );
+        assert_eq!(
+            subst("next[17] (out != 0)", 7),
+            "next_et[1, 119] (out != 0)"
+        );
     }
 
     #[test]
@@ -142,7 +150,10 @@ mod tests {
 
     #[test]
     fn constant_chains_fold_without_consuming_tau() {
-        assert_eq!(subst("(next true) && (next[2] a)", 10), "true && (next_et[1, 20] a)");
+        assert_eq!(
+            subst("(next true) && (next[2] a)", 10),
+            "true && (next_et[1, 20] a)"
+        );
     }
 
     #[test]
@@ -154,6 +165,9 @@ mod tests {
     #[test]
     fn rejects_already_abstracted() {
         let p: Property = "next_et[1, 10] a".parse().unwrap();
-        assert_eq!(next_substitution(&p, 10), Err(NextSubstError::AlreadyAbstracted));
+        assert_eq!(
+            next_substitution(&p, 10),
+            Err(NextSubstError::AlreadyAbstracted)
+        );
     }
 }

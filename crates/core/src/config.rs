@@ -33,7 +33,10 @@ impl AbstractionConfig {
     #[must_use]
     pub fn new(clock_period_ns: u64) -> AbstractionConfig {
         assert!(clock_period_ns > 0, "clock period must be positive");
-        AbstractionConfig { clock_period_ns, abstracted_signals: BTreeSet::new() }
+        AbstractionConfig {
+            clock_period_ns,
+            abstracted_signals: BTreeSet::new(),
+        }
     }
 
     /// Declares `signal` as removed by the RTL-to-TLM protocol abstraction
@@ -51,7 +54,8 @@ impl AbstractionConfig {
         mut self,
         signals: impl IntoIterator<Item = S>,
     ) -> AbstractionConfig {
-        self.abstracted_signals.extend(signals.into_iter().map(Into::into));
+        self.abstracted_signals
+            .extend(signals.into_iter().map(Into::into));
         self
     }
 
@@ -82,12 +86,17 @@ mod tests {
         let cfg = AbstractionConfig::new(10)
             .abstract_signal("a")
             .abstract_signals(["b", "c"]);
-        assert_eq!(cfg.abstracted_signals().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(
+            cfg.abstracted_signals().collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
     }
 
     #[test]
     fn duplicate_signals_are_deduplicated() {
-        let cfg = AbstractionConfig::new(10).abstract_signal("a").abstract_signal("a");
+        let cfg = AbstractionConfig::new(10)
+            .abstract_signal("a")
+            .abstract_signal("a");
         assert_eq!(cfg.abstracted_signals().count(), 1);
     }
 

@@ -67,17 +67,23 @@ pub fn map_context(
 ) -> Result<MappedContext, ContextMapError> {
     match context {
         EvalContext::Transaction { .. } => Err(ContextMapError::AlreadyTransaction),
-        EvalContext::Clock { guard: None, .. } => {
-            Ok(MappedContext { context: EvalContext::tb(), guard_needs_review: false })
-        }
-        EvalContext::Clock { guard: Some(guard), .. } => {
+        EvalContext::Clock { guard: None, .. } => Ok(MappedContext {
+            context: EvalContext::tb(),
+            guard_needs_review: false,
+        }),
+        EvalContext::Clock {
+            guard: Some(guard), ..
+        } => {
             let outcome = rules::apply(guard, cfg);
             let guard_needs_review = !outcome.is_unchanged();
             let context = match outcome.result {
                 Some(g) => EvalContext::tb_guarded(g),
                 None => EvalContext::tb(),
             };
-            Ok(MappedContext { context, guard_needs_review })
+            Ok(MappedContext {
+                context,
+                guard_needs_review,
+            })
         }
     }
 }
@@ -118,7 +124,10 @@ mod tests {
         let guard: Property = "mode == 1 && hs".parse().unwrap();
         let ctx = EvalContext::clock_guarded(ClockEdge::Pos, guard);
         let m = map_context(&ctx, &cfg).unwrap();
-        assert_eq!(m.context, EvalContext::tb_guarded("mode == 1".parse().unwrap()));
+        assert_eq!(
+            m.context,
+            EvalContext::tb_guarded("mode == 1".parse().unwrap())
+        );
         assert!(m.guard_needs_review);
     }
 

@@ -126,9 +126,7 @@ pub enum AbstractError {
 impl fmt::Display for AbstractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AbstractError::AlreadyTlm => {
-                f.write_str("property already has a transaction context")
-            }
+            AbstractError::AlreadyTlm => f.write_str("property already has a transaction context"),
             AbstractError::AlreadyAbstracted => {
                 f.write_str("property already contains next_et operators")
             }
@@ -327,7 +325,10 @@ mod tests {
 
     #[test]
     fn paper_fig3_p2_to_q2() {
-        let a = run("always (!ds || (next ((!ds) until next rdy))) @clk_pos", &cfg10());
+        let a = run(
+            "always (!ds || (next ((!ds) until next rdy))) @clk_pos",
+            &cfg10(),
+        );
         assert_eq!(
             a.result().unwrap().to_string(),
             "always ((!ds) || ((next_et[1, 10] (!ds)) until (next_et[2, 20] rdy))) @T_b"
@@ -357,7 +358,10 @@ mod tests {
     #[test]
     fn until_release_properties_pass_through_theorem_iii_1() {
         let a = run("always ((!ds) until rdy) @clk_pos", &cfg10());
-        assert_eq!(a.result().unwrap().to_string(), "always ((!ds) until rdy) @T_b");
+        assert_eq!(
+            a.result().unwrap().to_string(),
+            "always ((!ds) until rdy) @T_b"
+        );
         assert_eq!(a.consequence(), Consequence::Equivalent);
     }
 
@@ -381,18 +385,27 @@ mod tests {
     #[test]
     fn rejects_tlm_context() {
         let p: ClockedProperty = "always rdy @T_b".parse().unwrap();
-        assert_eq!(abstract_property(&p, &cfg10()), Err(AbstractError::AlreadyTlm));
+        assert_eq!(
+            abstract_property(&p, &cfg10()),
+            Err(AbstractError::AlreadyTlm)
+        );
     }
 
     #[test]
     fn rejects_already_abstracted_body() {
         let p: ClockedProperty = "always (next_et[1, 10] rdy) @clk_pos".parse().unwrap();
-        assert_eq!(abstract_property(&p, &cfg10()), Err(AbstractError::AlreadyAbstracted));
+        assert_eq!(
+            abstract_property(&p, &cfg10()),
+            Err(AbstractError::AlreadyAbstracted)
+        );
     }
 
     #[test]
     fn implication_sugar_is_normalized_first() {
-        let a = run("always ((ds && indata == 0) -> next[17](out != 0)) @clk_pos", &cfg10());
+        let a = run(
+            "always ((ds && indata == 0) -> next[17](out != 0)) @clk_pos",
+            &cfg10(),
+        );
         assert_eq!(
             a.result().unwrap().to_string(),
             "always (((!ds) || (indata != 0)) || (next_et[1, 170] (out != 0))) @T_b"
@@ -401,8 +414,14 @@ mod tests {
 
     #[test]
     fn clock_period_scales_epsilon() {
-        let a = run("always (next[8] done) @clk_pos", &AbstractionConfig::new(25));
-        assert_eq!(a.result().unwrap().to_string(), "always (next_et[1, 200] done) @T_b");
+        let a = run(
+            "always (next[8] done) @clk_pos",
+            &AbstractionConfig::new(25),
+        );
+        assert_eq!(
+            a.result().unwrap().to_string(),
+            "always (next_et[1, 200] done) @T_b"
+        );
     }
 
     #[test]
@@ -416,7 +435,10 @@ mod tests {
     #[test]
     fn guarded_context_maps_with_guard() {
         let a = run("always rdy @(clk_pos && mode == 1)", &cfg10());
-        assert_eq!(a.result().unwrap().to_string(), "always rdy @(T_b && (mode == 1))");
+        assert_eq!(
+            a.result().unwrap().to_string(),
+            "always rdy @(T_b && (mode == 1))"
+        );
     }
 
     #[test]

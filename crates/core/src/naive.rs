@@ -59,10 +59,7 @@ impl std::error::Error for NaiveScaleError {}
 /// assert_eq!(naive_scale(&p, 17)?.to_string(), "next (out != 0)");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn naive_scale(
-    p: &Property,
-    cycles_per_transaction: u32,
-) -> Result<Property, NaiveScaleError> {
+pub fn naive_scale(p: &Property, cycles_per_transaction: u32) -> Result<Property, NaiveScaleError> {
     if cycles_per_transaction == 0 {
         return Err(NaiveScaleError::ZeroRatio);
     }

@@ -193,7 +193,9 @@ mod tests {
     use super::*;
 
     fn cfg() -> AbstractionConfig {
-        AbstractionConfig::new(10).abstract_signal("hs").abstract_signal("hs2")
+        AbstractionConfig::new(10)
+            .abstract_signal("hs")
+            .abstract_signal("hs2")
     }
 
     fn run(src: &str) -> RuleOutcome {
@@ -201,7 +203,10 @@ mod tests {
     }
 
     fn kept(src: &str) -> String {
-        run(src).result.expect("property should be kept").to_string()
+        run(src)
+            .result
+            .expect("property should be kept")
+            .to_string()
     }
 
     #[test]
@@ -283,7 +288,10 @@ mod tests {
             .parse()
             .unwrap();
         let out = apply(&p, &cfg);
-        assert_eq!(out.result.unwrap().to_string(), "always ((!ds) || (next[17] rdy))");
+        assert_eq!(
+            out.result.unwrap().to_string(),
+            "always ((!ds) || (next[17] rdy))"
+        );
         // One drop-rule application: (∅ && ∅) && next[17] rdy collapses in
         // a single `∅ && p ⇝ p` step; both removed atoms are recorded.
         assert_eq!(out.conjunct_drops, 1);

@@ -1,4 +1,4 @@
-//! Property-based tests of the abstraction pipeline:
+//! Randomized tests of the abstraction pipeline:
 //!
 //! - Algorithm III.1 arithmetic (`ε = n × c`, `τ` consecutive);
 //! - Fig. 4 soundness for consequence-preserving drops: on any trace where
@@ -7,95 +7,134 @@
 //! - whole-pipeline structural invariants: the abstracted body never
 //!   mentions abstracted signals, never contains `next`, and carries a
 //!   transaction context.
+//!
+//! Cases come from a seeded [`TinyRng`] loop (the offline substitute for
+//! `proptest`); failure messages carry the case index for reproduction.
 
 use abv_core::{abstract_property, AbstractionConfig, Consequence};
-use proptest::prelude::*;
 use psl::trace::{Step, Trace};
 use psl::{Atom, ClockedProperty, CmpOp, EvalContext, Property};
+use tinyrng::TinyRng;
+
+const CASES: u64 = 400;
 
 /// Preserved signals and the abstracted one.
 const KEPT: &[&str] = &["a", "b", "c"];
 const GONE: &str = "hs";
 
-fn arb_atom(include_gone: bool) -> impl Strategy<Value = Atom> {
+fn gen_atom(rng: &mut TinyRng, include_gone: bool) -> Atom {
     let mut names = KEPT.to_vec();
     if include_gone {
         names.push(GONE);
     }
-    prop_oneof![
-        prop::sample::select(names.clone()).prop_map(Atom::bool),
-        (prop::sample::select(names), 0u64..3).prop_map(|(s, v)| Atom::cmp(s, CmpOp::Eq, v)),
-    ]
+    if rng.flip() {
+        Atom::bool(*rng.pick(&names))
+    } else {
+        Atom::cmp(*rng.pick(&names), CmpOp::Eq, rng.range_u64(0, 3))
+    }
+}
+
+fn gen_literal(rng: &mut TinyRng, include_gone: bool) -> Property {
+    let atom = Property::Atom(gen_atom(rng, include_gone));
+    if rng.flip() {
+        Property::not(atom)
+    } else {
+        atom
+    }
 }
 
 /// Simple-subset-style RTL properties (negations on atoms only).
-fn arb_rtl_property(include_gone: bool) -> impl Strategy<Value = Property> {
-    let leaf = prop_oneof![
-        arb_atom(include_gone).prop_map(Property::Atom),
-        arb_atom(include_gone).prop_map(|a| Property::not(Property::Atom(a))),
-    ];
-    leaf.prop_recursive(3, 16, 2, move |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.and(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.or(y)),
-            (1u32..4, inner.clone()).prop_map(|(n, p)| Property::next_n(n, p)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.until(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.release(y)),
-            inner.clone().prop_map(Property::always),
-            inner.prop_map(Property::eventually),
-        ]
-    })
+fn gen_rtl_property(rng: &mut TinyRng, include_gone: bool, depth: u32) -> Property {
+    if depth == 0 {
+        return gen_literal(rng, include_gone);
+    }
+    match rng.range_u32(0, 8) {
+        0 => gen_rtl_property(rng, include_gone, depth - 1).and(gen_rtl_property(
+            rng,
+            include_gone,
+            depth - 1,
+        )),
+        1 => gen_rtl_property(rng, include_gone, depth - 1).or(gen_rtl_property(
+            rng,
+            include_gone,
+            depth - 1,
+        )),
+        2 => Property::next_n(
+            rng.range_u32(1, 4),
+            gen_rtl_property(rng, include_gone, depth - 1),
+        ),
+        3 => gen_rtl_property(rng, include_gone, depth - 1).until(gen_rtl_property(
+            rng,
+            include_gone,
+            depth - 1,
+        )),
+        4 => gen_rtl_property(rng, include_gone, depth - 1).release(gen_rtl_property(
+            rng,
+            include_gone,
+            depth - 1,
+        )),
+        5 => Property::always(gen_rtl_property(rng, include_gone, depth - 1)),
+        6 => Property::eventually(gen_rtl_property(rng, include_gone, depth - 1)),
+        _ => gen_literal(rng, include_gone),
+    }
 }
 
 /// A 10 ns-tick trace over all signals (including the abstracted one).
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(prop::collection::vec(0u64..3, KEPT.len() + 1), 3..16).prop_map(
-        |rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, row)| {
-                    let mut s = Step::new(10 + 10 * i as u64, std::iter::empty::<(String, u64)>());
-                    for (name, v) in KEPT.iter().zip(&row) {
-                        s.set(*name, *v);
-                    }
-                    s.set(GONE, row[KEPT.len()]);
-                    s
-                })
-                .collect()
-        },
-    )
+fn gen_trace(rng: &mut TinyRng) -> Trace {
+    (0..rng.range_usize(3, 16))
+        .map(|i| {
+            let mut s = Step::new(10 + 10 * i as u64, std::iter::empty::<(String, u64)>());
+            for name in KEPT {
+                s.set(*name, rng.range_u64(0, 3));
+            }
+            s.set(GONE, rng.range_u64(0, 3));
+            s
+        })
+        .collect()
 }
 
 fn cfg() -> AbstractionConfig {
     AbstractionConfig::new(10).abstract_signal(GONE)
 }
 
-proptest! {
-    /// Structural invariants of the whole pipeline.
-    #[test]
-    fn abstraction_structural_invariants(p in arb_rtl_property(true)) {
+/// Structural invariants of the whole pipeline.
+#[test]
+fn abstraction_structural_invariants() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0xC03E_0001, case);
+        let p = gen_rtl_property(&mut rng, true, 3);
         let clocked = ClockedProperty::new(p, EvalContext::clk_pos());
         let a = abstract_property(&clocked, &cfg()).expect("abstractable");
         if let Some(q) = a.result() {
-            prop_assert!(q.context.is_transaction());
-            prop_assert!(!q.property.signals().contains(&GONE),
-                "abstracted signal must not survive: {}", q);
+            assert!(q.context.is_transaction(), "case {case}: {q}");
+            assert!(
+                !q.property.signals().contains(&GONE),
+                "case {case}: abstracted signal must not survive: {q}"
+            );
             let mut has_plain_next = false;
             q.property.visit(&mut |node| {
                 if matches!(node, Property::Next { .. }) {
                     has_plain_next = true;
                 }
             });
-            prop_assert!(!has_plain_next, "no un-timed next may survive: {}", q);
+            assert!(
+                !has_plain_next,
+                "case {case}: no un-timed next may survive: {q}"
+            );
         } else {
-            prop_assert_eq!(a.consequence(), Consequence::Deleted);
+            assert_eq!(a.consequence(), Consequence::Deleted, "case {case}");
         }
     }
+}
 
-    /// `τ` indices are 1..k consecutive in syntactic order and every `ε`
-    /// is a positive multiple of the clock period.
-    #[test]
-    fn tau_epsilon_wellformed(p in arb_rtl_property(false), period in 1u64..40) {
+/// `τ` indices are 1..k consecutive in syntactic order and every `ε` is a
+/// positive multiple of the clock period.
+#[test]
+fn tau_epsilon_wellformed() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0xC03E_0002, case);
+        let p = gen_rtl_property(&mut rng, false, 3);
+        let period = rng.range_u64(1, 40);
         let clocked = ClockedProperty::new(p, EvalContext::clk_pos());
         let cfg = AbstractionConfig::new(period);
         let a = abstract_property(&clocked, &cfg).expect("abstractable");
@@ -104,63 +143,81 @@ proptest! {
         q.property.visit(&mut |node| {
             if let Property::NextEt { tau, eps_ns, .. } = node {
                 taus.push(*tau);
-                assert!(*eps_ns >= period, "eps at least one period");
-                assert_eq!(eps_ns % period, 0, "eps multiple of the period");
+                assert!(*eps_ns >= period, "case {case}: eps at least one period");
+                assert_eq!(
+                    eps_ns % period,
+                    0,
+                    "case {case}: eps multiple of the period"
+                );
             }
         });
         let expected: Vec<u32> = (1..=taus.len() as u32).collect();
-        prop_assert_eq!(taus, expected);
+        assert_eq!(taus, expected, "case {case}: {q}");
     }
+}
 
-    /// Consequence-preserving abstraction (Equivalent or Weakened): if the
-    /// original holds on a trace, the rewritten *pre-timing* body holds on
-    /// the same trace. (Timing substitution is validated separately via
-    /// the eps arithmetic and the checker tests; here we compare with the
-    /// `next`-preserving rules output by re-running only the Fig. 4 pass.)
-    #[test]
-    fn weakened_results_are_implied(p in arb_rtl_property(true), t in arb_trace()) {
+/// Consequence-preserving abstraction (Equivalent or Weakened): if the
+/// original holds on a trace, the rewritten *pre-timing* body holds on the
+/// same trace. (Timing substitution is validated separately via the eps
+/// arithmetic and the checker tests; here we compare with the
+/// `next`-preserving rules output by re-running only the Fig. 4 pass.)
+#[test]
+fn weakened_results_are_implied() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0xC03E_0003, case);
+        let p = gen_rtl_property(&mut rng, true, 3);
+        let t = gen_trace(&mut rng);
         let nnf = psl::nnf::to_nnf(&p);
-        let pushed = match psl::push_ahead::push_ahead(&nnf) {
-            Ok(x) => x,
-            Err(_) => return Ok(()),
+        let Ok(pushed) = psl::push_ahead::push_ahead(&nnf) else {
+            continue;
         };
         let outcome = abv_core::rules::apply(&pushed, &cfg());
         // Only consequence-preserving runs make a claim.
         if outcome.review_drops > 0 {
-            return Ok(());
+            continue;
         }
-        let Some(rewritten) = outcome.result else { return Ok(()) };
+        let Some(rewritten) = outcome.result else {
+            continue;
+        };
         for pos in 0..t.len() {
             let original = t.eval(&pushed, pos).expect("signals defined");
             if original {
-                prop_assert!(
+                assert!(
                     t.eval(&rewritten, pos).expect("signals defined"),
-                    "conjunct-dropped rewrite must be implied at {}: {} vs {}",
-                    pos, &pushed, &rewritten
+                    "case {case}: conjunct-dropped rewrite must be implied at {pos}: \
+                     {pushed} vs {rewritten}"
                 );
             }
         }
     }
+}
 
-    /// Deleted properties only ever contain abstracted signals on every
-    /// root-to-deletion path: conversely, a property with no abstracted
-    /// signal is always Equivalent and textually unchanged except timing.
-    #[test]
-    fn untouched_properties_are_equivalent(p in arb_rtl_property(false)) {
-        let clocked = ClockedProperty::new(p.clone(), EvalContext::clk_pos());
+/// Deleted properties only ever contain abstracted signals on every
+/// root-to-deletion path: conversely, a property with no abstracted signal
+/// is always Equivalent and textually unchanged except timing.
+#[test]
+fn untouched_properties_are_equivalent() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0xC03E_0004, case);
+        let p = gen_rtl_property(&mut rng, false, 3);
+        let clocked = ClockedProperty::new(p, EvalContext::clk_pos());
         let a = abstract_property(&clocked, &cfg()).expect("abstractable");
-        prop_assert_eq!(a.consequence(), Consequence::Equivalent);
-        prop_assert!(a.removed_atoms().is_empty());
-        prop_assert!(a.result().is_some());
+        assert_eq!(a.consequence(), Consequence::Equivalent, "case {case}");
+        assert!(a.removed_atoms().is_empty(), "case {case}");
+        assert!(a.result().is_some(), "case {case}");
     }
+}
 
-    /// Abstracting twice is rejected (the result is already TLM).
-    #[test]
-    fn abstraction_is_not_reapplicable(p in arb_rtl_property(false)) {
+/// Abstracting twice is rejected (the result is already TLM).
+#[test]
+fn abstraction_is_not_reapplicable() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0xC03E_0005, case);
+        let p = gen_rtl_property(&mut rng, false, 3);
         let clocked = ClockedProperty::new(p, EvalContext::clk_pos());
         let a = abstract_property(&clocked, &cfg()).expect("abstractable");
         if let Some(q) = a.result() {
-            prop_assert!(abstract_property(q, &cfg()).is_err());
+            assert!(abstract_property(q, &cfg()).is_err(), "case {case}: {q}");
         }
     }
 }

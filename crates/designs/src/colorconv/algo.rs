@@ -47,7 +47,14 @@ mod tests {
 
     #[test]
     fn black_and_white_anchors() {
-        assert_eq!(convert(0, 0, 0), Ycbcr { y: 16, cb: 128, cr: 128 });
+        assert_eq!(
+            convert(0, 0, 0),
+            Ycbcr {
+                y: 16,
+                cb: 128,
+                cr: 128
+            }
+        );
         let w = convert(255, 255, 255);
         assert_eq!(w.y, 235);
         // Chroma of a grey pixel stays at the midpoint (±1 rounding).

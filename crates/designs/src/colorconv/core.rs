@@ -121,7 +121,11 @@ impl ColorConvCore {
     /// A core with an injected fault.
     #[must_use]
     pub fn with_mutation(mutation: ConvMutation) -> ColorConvCore {
-        ColorConvCore { mutation, pipe: [None; 9], outputs: ConvOutputs::default() }
+        ColorConvCore {
+            mutation,
+            pipe: [None; 9],
+            outputs: ConvOutputs::default(),
+        }
     }
 
     /// True while any pixel is in flight.
@@ -222,7 +226,9 @@ mod tests {
     #[test]
     fn full_throughput_back_to_back() {
         let mut core = ColorConvCore::new();
-        let pixels: Vec<(u8, u8, u8)> = (0..20).map(|i| (i as u8, 2 * i as u8, 255 - i as u8)).collect();
+        let pixels: Vec<(u8, u8, u8)> = (0..20)
+            .map(|i| (i as u8, 2 * i as u8, 255 - i as u8))
+            .collect();
         let mut outputs = Vec::new();
         for c in 0..30 {
             let (valid, (r, g, b)) = match pixels.get(c) {
@@ -234,10 +240,17 @@ mod tests {
                 outputs.push((o.y, o.cb, o.cr));
             }
         }
-        assert_eq!(outputs.len(), 20, "one result per cycle once the pipe fills");
+        assert_eq!(
+            outputs.len(),
+            20,
+            "one result per cycle once the pipe fills"
+        );
         for (i, &(y, cb, cr)) in outputs.iter().enumerate() {
             let e = algo::convert(pixels[i].0, pixels[i].1, pixels[i].2);
-            assert_eq!((y, cb, cr), (u64::from(e.y), u64::from(e.cb), u64::from(e.cr)));
+            assert_eq!(
+                (y, cb, cr),
+                (u64::from(e.y), u64::from(e.cb), u64::from(e.cr))
+            );
         }
     }
 
@@ -247,7 +260,11 @@ mod tests {
         let outs = run_single(&mut short, 1, 2, 3, 12);
         assert!(outs[7].out_valid && !outs[8].out_valid);
         let expect = algo::convert(1, 2, 3);
-        assert_eq!(outs[7].y, u64::from(expect.y), "short pipe still computes correctly");
+        assert_eq!(
+            outs[7].y,
+            u64::from(expect.y),
+            "short pipe still computes correctly"
+        );
 
         let mut long = ColorConvCore::with_mutation(ConvMutation::LatencyLong);
         let outs = run_single(&mut long, 1, 2, 3, 12);

@@ -10,7 +10,8 @@ use crate::suite::{PropertyClass, SuiteEntry};
 pub const ABSTRACTED_SIGNALS: &[&str] = &["ov_next_cycle"];
 
 fn parse(src: &str) -> ClockedProperty {
-    src.parse().unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
+    src.parse()
+        .unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
 }
 
 /// The 12-property ColorConv suite.

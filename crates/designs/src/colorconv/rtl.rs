@@ -1,6 +1,6 @@
 //! The ColorConv RTL model: clocked pipeline plus stimulus generator.
 
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use rtlkit::{Clock, ClockHandle, EdgeDetector};
 
 use super::core::{ColorConvCore, ConvMutation};
@@ -145,7 +145,11 @@ pub fn build_rtl(workload: &ConvWorkload, mutation: ConvMutation) -> RtlBuilt {
     });
     sim.subscribe(clk.signal, stim, 0);
 
-    RtlBuilt { sim, clk, end_ns: workload.end_time_ns() }
+    RtlBuilt {
+        sim,
+        clk,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 #[cfg(test)]
@@ -158,10 +162,18 @@ mod tests {
 
     #[test]
     fn pixel_converts_8_cycles_after_strobe() {
-        let w = ConvWorkload::new(vec![Pixel { r: 10, g: 200, b: 99 }]);
+        let w = ConvWorkload::new(vec![Pixel {
+            r: 10,
+            g: 200,
+            b: 99,
+        }]);
         let mut built = build_rtl(&w, ConvMutation::None);
-        let rec =
-            WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, RTL_SIGNALS);
+        let rec = WaveRecorder::install(
+            &mut built.sim,
+            built.clk.signal,
+            ClockEdge::Pos,
+            RTL_SIGNALS,
+        );
         built.run();
         let trace = WaveRecorder::take_trace(&built.sim, rec);
         let steps = trace.steps();
@@ -180,8 +192,12 @@ mod tests {
     fn stream_of_pixels_all_convert() {
         let w = ConvWorkload::mixed(7, 5);
         let mut built = build_rtl(&w, ConvMutation::None);
-        let rec =
-            WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, RTL_SIGNALS);
+        let rec = WaveRecorder::install(
+            &mut built.sim,
+            built.clk.signal,
+            ClockEdge::Pos,
+            RTL_SIGNALS,
+        );
         built.run();
         let trace = WaveRecorder::take_trace(&built.sim, rec);
         let valid_count = trace

@@ -1,6 +1,6 @@
 //! The ColorConv TLM models: cycle-accurate and approximately-timed.
 
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use tlmkit::{CodingStyle, Transaction, TransactionBus};
 
 use super::core::{ColorConvCore, ConvMutation};
@@ -22,8 +22,7 @@ pub const TLM_CA_SIGNALS: &[&str] = &[
 
 /// Mirror signals preserved at TLM-AT (the pipeline prediction output is
 /// abstracted away).
-pub const TLM_AT_SIGNALS: &[&str] =
-    &["px_valid", "r", "g", "b", "y", "cb", "cr", "out_valid"];
+pub const TLM_AT_SIGNALS: &[&str] = &["px_valid", "r", "g", "b", "y", "cb", "cr", "out_valid"];
 
 /// A fully wired TLM simulation of ColorConv.
 pub struct TlmBuilt {
@@ -82,7 +81,11 @@ impl Component for ConvTlmCa {
         ctx.write(self.ov_nc, u64::from(o.ov_next_cycle));
 
         let tx = if valid {
-            Transaction::write(0, u64::from(r) << 16 | u64::from(g) << 8 | u64::from(b), ev.time)
+            Transaction::write(
+                0,
+                u64::from(r) << 16 | u64::from(g) << 8 | u64::from(b),
+                ev.time,
+            )
         } else {
             Transaction::read(0, o.y, ev.time)
         };
@@ -127,7 +130,11 @@ pub fn build_tlm_ca(workload: &ConvWorkload, mutation: ConvMutation) -> TlmBuilt
     });
     sim.schedule(SimTime::from_ns(CLOCK_PERIOD_NS), model, 0);
 
-    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+    TlmBuilt {
+        sim,
+        bus,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 const OP_WRITE: u64 = 0;
@@ -203,7 +210,8 @@ impl Component for ConvTlmAt {
                 if !matches!(self.mutation, ConvMutation::DropValid) {
                     ctx.write(self.out_valid, 1);
                 }
-                self.bus.publish(ctx, Transaction::read(0, u64::from(res.y), ev.time));
+                self.bus
+                    .publish(ctx, Transaction::read(0, u64::from(res.y), ev.time));
                 if self.strict {
                     ctx.schedule_self(CLOCK_PERIOD_NS, (ev.kind & !0b11) | OP_VALID_CLEAR);
                 }
@@ -264,14 +272,26 @@ pub fn build_tlm_at(
         sim.schedule(SimTime::from_ns(workload.request_time_ns(i)), model, kind);
     }
 
-    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+    TlmBuilt {
+        sim,
+        bus,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 /// Mirror signals of the **bulk** TLM-AT model: per-pixel handshake is
 /// fully abstracted; only frame-level signals and the last converted
 /// pixel remain observable.
-pub const TLM_AT_BULK_SIGNALS: &[&str] =
-    &["frame_start", "frame_done", "npixels", "y", "cb", "cr", "out_valid", "checksum"];
+pub const TLM_AT_BULK_SIGNALS: &[&str] = &[
+    "frame_start",
+    "frame_done",
+    "npixels",
+    "y",
+    "cb",
+    "cr",
+    "out_valid",
+    "checksum",
+];
 
 /// The bulk-granularity TLM-AT model: **one write transaction for the
 /// whole pixel stream and one read transaction for all results**, exactly
@@ -321,15 +341,10 @@ impl Component for ConvTlmAtBulk {
                 let mut last = None;
                 let mut checksum: u64 = 0;
                 for px in &self.workload.pixels {
-                    let res = ColorConvCore::convert_with_mutation(
-                        self.mutation,
-                        px.r,
-                        px.g,
-                        px.b,
+                    let res = ColorConvCore::convert_with_mutation(self.mutation, px.r, px.g, px.b);
+                    checksum = checksum.rotate_left(7).wrapping_add(
+                        u64::from(res.y) << 16 | u64::from(res.cb) << 8 | u64::from(res.cr),
                     );
-                    checksum = checksum
-                        .rotate_left(7)
-                        .wrapping_add(u64::from(res.y) << 16 | u64::from(res.cb) << 8 | u64::from(res.cr));
                     last = Some(res);
                 }
                 let res = last.expect("non-empty workload");
@@ -342,7 +357,8 @@ impl Component for ConvTlmAtBulk {
                 if !matches!(self.mutation, ConvMutation::DropValid) {
                     ctx.write(self.out_valid, 1);
                 }
-                self.bus.publish(ctx, Transaction::read(0, u64::from(res.y), ev.time));
+                self.bus
+                    .publish(ctx, Transaction::read(0, u64::from(res.y), ev.time));
             }
             _ => unreachable!("bulk model only schedules write/read"),
         }
@@ -359,7 +375,10 @@ impl Component for ConvTlmAtBulk {
 /// Panics if the workload is empty.
 #[must_use]
 pub fn build_tlm_at_bulk(workload: &ConvWorkload, mutation: ConvMutation) -> TlmBuilt {
-    assert!(!workload.pixels.is_empty(), "bulk model needs at least one pixel");
+    assert!(
+        !workload.pixels.is_empty(),
+        "bulk model needs at least one pixel"
+    );
     let mut sim = Simulation::new();
     let bus = TransactionBus::new();
     let frame_start = sim.add_signal("frame_start", 0);
@@ -384,9 +403,17 @@ pub fn build_tlm_at_bulk(workload: &ConvWorkload, mutation: ConvMutation) -> Tlm
         out_valid,
         checksum,
     });
-    sim.schedule(SimTime::from_ns(workload.request_time_ns(0)), model, OP_WRITE);
+    sim.schedule(
+        SimTime::from_ns(workload.request_time_ns(0)),
+        model,
+        OP_WRITE,
+    );
 
-    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+    TlmBuilt {
+        sim,
+        bus,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 /// The ColorConv properties that survive at the bulk granularity: range
@@ -414,7 +441,11 @@ mod tests {
     use tlmkit::TxTraceRecorder;
 
     fn one_pixel() -> ConvWorkload {
-        ConvWorkload::new(vec![Pixel { r: 10, g: 200, b: 99 }])
+        ConvWorkload::new(vec![Pixel {
+            r: 10,
+            g: 200,
+            b: 99,
+        }])
     }
 
     #[test]
@@ -457,8 +488,11 @@ mod tests {
     #[test]
     fn tlm_at_strict_four_transactions_per_pixel() {
         let w = one_pixel();
-        let mut built =
-            build_tlm_at(&w, ConvMutation::None, CodingStyle::ApproximatelyTimedStrict);
+        let mut built = build_tlm_at(
+            &w,
+            ConvMutation::None,
+            CodingStyle::ApproximatelyTimedStrict,
+        );
         built.run();
         assert_eq!(built.bus.published(), 4);
     }
@@ -469,7 +503,11 @@ mod tests {
         let mut built = build_tlm_at_bulk(&w, ConvMutation::None);
         let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_BULK_SIGNALS);
         built.run();
-        assert_eq!(built.bus.published(), 2, "one write + one read for the whole frame");
+        assert_eq!(
+            built.bus.published(),
+            2,
+            "one write + one read for the whole frame"
+        );
         let trace = TxTraceRecorder::take_trace(&built.sim, rec);
         assert_eq!(trace.steps()[0].signal("frame_start"), Some(1));
         assert_eq!(trace.steps()[0].signal("npixels"), Some(25));
@@ -483,35 +521,44 @@ mod tests {
 
     #[test]
     fn bulk_surviving_properties_pass() {
-        use abv_checker::{collect_tx_reports, install_tx_checkers};
+        use abv_checker::{Binding, Checker};
         let w = ConvWorkload::mixed(10, 8);
         let mut built = build_tlm_at_bulk(&w, ConvMutation::None);
-        let hosts =
-            install_tx_checkers(&mut built.sim, &built.bus, &bulk_surviving_properties())
-                .expect("installs");
+        let checkers = Checker::attach_all(
+            &mut built.sim,
+            &bulk_surviving_properties(),
+            Binding::bus(&built.bus),
+        )
+        .expect("installs");
         built.run();
-        let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+        let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
         assert!(report.all_pass(), "{report}");
     }
 
     #[test]
     fn bulk_catches_corrupt_luma() {
-        use abv_checker::{collect_tx_reports, install_tx_checkers};
+        use abv_checker::{Binding, Checker};
         let w = ConvWorkload::mixed(10, 8);
         let mut built = build_tlm_at_bulk(&w, ConvMutation::CorruptLuma);
-        let hosts =
-            install_tx_checkers(&mut built.sim, &built.bus, &bulk_surviving_properties())
-                .expect("installs");
+        let checkers = Checker::attach_all(
+            &mut built.sim,
+            &bulk_surviving_properties(),
+            Binding::bus(&built.bus),
+        )
+        .expect("installs");
         built.run();
-        let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+        let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
         assert!(report.property("c4").expect("c4").failure_count > 0);
     }
 
     #[test]
     fn corrupt_luma_visible_at_read() {
         let w = one_pixel();
-        let mut built =
-            build_tlm_at(&w, ConvMutation::CorruptLuma, CodingStyle::ApproximatelyTimedLoose);
+        let mut built = build_tlm_at(
+            &w,
+            ConvMutation::CorruptLuma,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
         let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
         built.run();
         let trace = TxTraceRecorder::take_trace(&built.sim, rec);

@@ -1,7 +1,6 @@
 //! ColorConv workloads: the pixel streams driven through all three models.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tinyrng::TinyRng;
 
 use crate::CLOCK_PERIOD_NS;
 
@@ -38,15 +37,23 @@ impl ConvWorkload {
     /// A workload from explicit pixels with the default spacing.
     #[must_use]
     pub fn new(pixels: Vec<Pixel>) -> ConvWorkload {
-        ConvWorkload { pixels, gap_cycles: Self::DEFAULT_GAP, first_edge: 2 }
+        ConvWorkload {
+            pixels,
+            gap_cycles: Self::DEFAULT_GAP,
+            first_edge: 2,
+        }
     }
 
     /// `count` random pixels from a seeded RNG.
     #[must_use]
     pub fn random(count: usize, seed: u64) -> ConvWorkload {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TinyRng::new(seed);
         let pixels = (0..count)
-            .map(|_| Pixel { r: rng.random(), g: rng.random(), b: rng.random() })
+            .map(|_| Pixel {
+                r: rng.next_u8(),
+                g: rng.next_u8(),
+                b: rng.next_u8(),
+            })
             .collect();
         ConvWorkload::new(pixels)
     }
@@ -60,7 +67,11 @@ impl ConvWorkload {
             if i % 6 == 0 {
                 *px = match (i / 6) % 3 {
                     0 => Pixel { r: 0, g: 0, b: 0 },
-                    1 => Pixel { r: 255, g: 255, b: 255 },
+                    1 => Pixel {
+                        r: 255,
+                        g: 255,
+                        b: 255,
+                    },
                     _ => Pixel { r: 0, g: 255, b: 0 },
                 };
             }
@@ -95,7 +106,9 @@ impl ConvWorkload {
         if !offset.is_multiple_of(self.gap_cycles) {
             return None;
         }
-        self.pixels.get((offset / self.gap_cycles) as usize).copied()
+        self.pixels
+            .get((offset / self.gap_cycles) as usize)
+            .copied()
     }
 
     /// Rising edges needed to complete every pixel (with margin).
@@ -139,7 +152,14 @@ mod tests {
     fn mixed_injects_anchor_pixels() {
         let w = ConvWorkload::mixed(20, 4);
         assert_eq!(w.pixels[0], Pixel { r: 0, g: 0, b: 0 });
-        assert_eq!(w.pixels[6], Pixel { r: 255, g: 255, b: 255 });
+        assert_eq!(
+            w.pixels[6],
+            Pixel {
+                r: 255,
+                g: 255,
+                b: 255
+            }
+        );
         assert_eq!(w.pixels[12], Pixel { r: 0, g: 255, b: 0 });
         assert_eq!(w.pixels[18], Pixel { r: 0, g: 0, b: 0 });
     }

@@ -188,13 +188,19 @@ impl RoundState {
     #[must_use]
     pub fn load(block: u64) -> RoundState {
         let ip = permute(block, 64, &IP);
-        RoundState { l: (ip >> 32) as u32, r: ip as u32 }
+        RoundState {
+            l: (ip >> 32) as u32,
+            r: ip as u32,
+        }
     }
 
     /// Executes one Feistel round with the given subkey.
     #[must_use]
     pub fn round(self, subkey: u64) -> RoundState {
-        RoundState { l: self.r, r: self.l ^ feistel(self.r, subkey) }
+        RoundState {
+            l: self.r,
+            r: self.l ^ feistel(self.r, subkey),
+        }
     }
 
     /// Produces the output block: pre-output swap then final permutation.

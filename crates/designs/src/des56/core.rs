@@ -113,7 +113,11 @@ impl Des56Core {
         // e1..e16: one round per cycle.
         if self.phase <= 16 {
             let round_idx = (self.phase - 1) as usize;
-            let subkey_idx = if self.decrypt { 15 - round_idx } else { round_idx };
+            let subkey_idx = if self.decrypt {
+                15 - round_idx
+            } else {
+                round_idx
+            };
             self.state = self.state.round(self.ks.subkey(subkey_idx));
         }
 
@@ -154,7 +158,9 @@ mod tests {
     /// Runs the core with a single strobe and returns, per cycle, the
     /// outputs (cycle 0 = strobe cycle).
     fn run(core: &mut Des56Core, data: u64, decrypt: bool, cycles: u32) -> Vec<DesOutputs> {
-        (0..cycles).map(|c| core.step(c == 0, data, decrypt)).collect()
+        (0..cycles)
+            .map(|c| core.step(c == 0, data, decrypt))
+            .collect()
     }
 
     #[test]
@@ -172,7 +178,11 @@ mod tests {
         let mut core = Des56Core::new(KEY);
         let outs = run(&mut core, PLAIN, false, 20);
         for (cycle, o) in outs.iter().enumerate() {
-            assert_eq!(o.rdy_next_next_cycle, cycle == 15, "rdy_nnc wrong at {cycle}");
+            assert_eq!(
+                o.rdy_next_next_cycle,
+                cycle == 15,
+                "rdy_nnc wrong at {cycle}"
+            );
             assert_eq!(o.rdy_next_cycle, cycle == 16, "rdy_nc wrong at {cycle}");
         }
     }

@@ -10,7 +10,8 @@ use crate::suite::{PropertyClass, SuiteEntry};
 pub const ABSTRACTED_SIGNALS: &[&str] = &["rdy_next_cycle", "rdy_next_next_cycle"];
 
 fn parse(src: &str) -> ClockedProperty {
-    src.parse().unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
+    src.parse()
+        .unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
 }
 
 /// The 9-property DES56 suite.
@@ -92,7 +93,10 @@ mod tests {
         let s = suite();
         assert_eq!(s.len(), 9);
         let names: Vec<_> = s.iter().map(|e| e.name).collect();
-        assert_eq!(names, vec!["p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9"]);
+        assert_eq!(
+            names,
+            vec!["p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9"]
+        );
     }
 
     #[test]
@@ -106,7 +110,10 @@ mod tests {
             s[1].rtl.to_string(),
             "always ((!ds) || (next ((!ds) until (next rdy)))) @clk_pos"
         );
-        assert!(s[2].rtl.to_string().contains("next[15] rdy_next_next_cycle"));
+        assert!(s[2]
+            .rtl
+            .to_string()
+            .contains("next[15] rdy_next_next_cycle"));
     }
 
     #[test]

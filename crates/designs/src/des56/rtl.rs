@@ -1,6 +1,6 @@
 //! The DES56 RTL model: clocked design plus stimulus generator.
 
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use rtlkit::{Clock, ClockHandle, EdgeDetector};
 
 use super::core::{Des56Core, DesMutation};
@@ -142,7 +142,11 @@ pub fn build_rtl(workload: &DesWorkload, mutation: DesMutation) -> RtlBuilt {
     });
     sim.subscribe(clk.signal, stim, 0);
 
-    RtlBuilt { sim, clk, end_ns: workload.end_time_ns() }
+    RtlBuilt {
+        sim,
+        clk,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 impl RtlBuilt {
@@ -163,8 +167,12 @@ mod tests {
     fn single_block_trace(data: u64, decrypt: bool) -> psl::Trace {
         let w = DesWorkload::new(vec![DesBlock { data, decrypt }]);
         let mut built = build_rtl(&w, DesMutation::None);
-        let rec =
-            WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, RTL_SIGNALS);
+        let rec = WaveRecorder::install(
+            &mut built.sim,
+            built.clk.signal,
+            ClockEdge::Pos,
+            RTL_SIGNALS,
+        );
         built.run();
         WaveRecorder::take_trace(&built.sim, rec)
     }
@@ -181,7 +189,10 @@ mod tests {
         assert_eq!(steps[e0 + 1].signal("ds"), Some(0), "one-cycle strobe");
         assert_eq!(steps[e0 + 17].signal("rdy"), Some(1));
         let ks = KeySchedule::new(DES_KEY);
-        assert_eq!(steps[e0 + 17].signal("out"), Some(algo::encrypt(plain, &ks)));
+        assert_eq!(
+            steps[e0 + 17].signal("out"),
+            Some(algo::encrypt(plain, &ks))
+        );
         assert_eq!(steps[e0 + 18].signal("rdy"), Some(0));
         assert_eq!(steps[e0 + 16].signal("rdy_next_cycle"), Some(1));
         assert_eq!(steps[e0 + 15].signal("rdy_next_next_cycle"), Some(1));
@@ -200,8 +211,12 @@ mod tests {
     fn back_to_back_requests_all_complete() {
         let w = DesWorkload::random(5, 3);
         let mut built = build_rtl(&w, DesMutation::None);
-        let rec =
-            WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, RTL_SIGNALS);
+        let rec = WaveRecorder::install(
+            &mut built.sim,
+            built.clk.signal,
+            ClockEdge::Pos,
+            RTL_SIGNALS,
+        );
         built.run();
         let trace = WaveRecorder::take_trace(&built.sim, rec);
         let rdy_count = trace
@@ -216,8 +231,12 @@ mod tests {
     fn mutated_model_shifts_ready() {
         let w = DesWorkload::random(1, 3);
         let mut built = build_rtl(&w, DesMutation::LatencyShort);
-        let rec =
-            WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, RTL_SIGNALS);
+        let rec = WaveRecorder::install(
+            &mut built.sim,
+            built.clk.signal,
+            ClockEdge::Pos,
+            RTL_SIGNALS,
+        );
         built.run();
         let trace = WaveRecorder::take_trace(&built.sim, rec);
         assert_eq!(trace.steps()[1 + 16].signal("rdy"), Some(1));

@@ -1,6 +1,6 @@
 //! The DES56 TLM models: cycle-accurate and approximately-timed.
 
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use tlmkit::{CodingStyle, Transaction, TransactionBus};
 
 use super::algo::{self, KeySchedule};
@@ -120,7 +120,11 @@ pub fn build_tlm_ca(workload: &DesWorkload, mutation: DesMutation) -> TlmBuilt {
     // First cycle transaction at the first rising-edge time.
     sim.schedule(SimTime::from_ns(CLOCK_PERIOD_NS), model, 0);
 
-    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+    TlmBuilt {
+        sim,
+        bus,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 /// Event kinds of the TLM-AT initiator (low 2 bits; block index above).
@@ -170,7 +174,8 @@ impl Component for Des56TlmAt {
                 ctx.write(self.indata, block.data);
                 ctx.write(self.mode, u64::from(block.decrypt));
                 ctx.write(self.rdy, 0);
-                self.bus.publish(ctx, Transaction::write(0, block.data, ev.time));
+                self.bus
+                    .publish(ctx, Transaction::write(0, block.data, ev.time));
                 ctx.schedule_self(self.read_delay_ns(), (ev.kind & !0b11) | OP_READ);
                 if self.strict {
                     ctx.schedule_self(CLOCK_PERIOD_NS, (ev.kind & !0b11) | OP_STROBE_RELEASE);
@@ -216,11 +221,7 @@ impl Component for Des56TlmAt {
 /// Panics if `style` is [`CodingStyle::CycleAccurate`] (use
 /// [`build_tlm_ca`]).
 #[must_use]
-pub fn build_tlm_at(
-    workload: &DesWorkload,
-    mutation: DesMutation,
-    style: CodingStyle,
-) -> TlmBuilt {
+pub fn build_tlm_at(workload: &DesWorkload, mutation: DesMutation, style: CodingStyle) -> TlmBuilt {
     let strict = match style {
         CodingStyle::ApproximatelyTimedLoose => false,
         CodingStyle::ApproximatelyTimedStrict => true,
@@ -251,7 +252,11 @@ pub fn build_tlm_at(
         sim.schedule(SimTime::from_ns(workload.request_time_ns(i)), model, kind);
     }
 
-    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+    TlmBuilt {
+        sim,
+        bus,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +267,10 @@ mod tests {
     use tlmkit::TxTraceRecorder;
 
     fn one_block() -> DesWorkload {
-        DesWorkload::new(vec![DesBlock { data: 0x0123456789ABCDEF, decrypt: false }])
+        DesWorkload::new(vec![DesBlock {
+            data: 0x0123456789ABCDEF,
+            decrypt: false,
+        }])
     }
 
     #[test]
@@ -329,9 +337,10 @@ mod tests {
     #[test]
     fn tlm_at_latency_mutations_shift_read() {
         let w = one_block();
-        for (mutation, expected) in
-            [(DesMutation::LatencyShort, 180), (DesMutation::LatencyLong, 200)]
-        {
+        for (mutation, expected) in [
+            (DesMutation::LatencyShort, 180),
+            (DesMutation::LatencyLong, 200),
+        ] {
             let mut built = build_tlm_at(&w, mutation, CodingStyle::ApproximatelyTimedLoose);
             let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
             built.sim.run_until(SimTime::from_ns(1000));

@@ -1,7 +1,6 @@
 //! DES56 workloads: the block streams driven through all three models.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tinyrng::TinyRng;
 
 use crate::CLOCK_PERIOD_NS;
 
@@ -46,15 +45,22 @@ impl DesWorkload {
     /// A workload from explicit blocks with the default spacing.
     #[must_use]
     pub fn new(blocks: Vec<DesBlock>) -> DesWorkload {
-        DesWorkload { blocks, gap_cycles: Self::DEFAULT_GAP, first_edge: 2 }
+        DesWorkload {
+            blocks,
+            gap_cycles: Self::DEFAULT_GAP,
+            first_edge: 2,
+        }
     }
 
     /// `count` random blocks (mixed encrypt/decrypt) from a seeded RNG.
     #[must_use]
     pub fn random(count: usize, seed: u64) -> DesWorkload {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TinyRng::new(seed);
         let blocks = (0..count)
-            .map(|_| DesBlock { data: rng.random(), decrypt: rng.random_bool(0.5) })
+            .map(|_| DesBlock {
+                data: rng.next_u64(),
+                decrypt: rng.flip(),
+            })
             .collect();
         DesWorkload::new(blocks)
     }
@@ -67,7 +73,10 @@ impl DesWorkload {
         let mut w = DesWorkload::random(count, seed);
         for (i, block) in w.blocks.iter_mut().enumerate() {
             if i % 8 == 0 {
-                *block = DesBlock { data: 0, decrypt: false };
+                *block = DesBlock {
+                    data: 0,
+                    decrypt: false,
+                };
             }
         }
         w
@@ -100,7 +109,9 @@ impl DesWorkload {
         if !offset.is_multiple_of(self.gap_cycles) {
             return None;
         }
-        self.blocks.get((offset / self.gap_cycles) as usize).copied()
+        self.blocks
+            .get((offset / self.gap_cycles) as usize)
+            .copied()
     }
 
     /// Rising edges needed to complete every request (with margin for the
@@ -136,8 +147,14 @@ mod tests {
     #[test]
     fn block_at_edge_matches_schedule() {
         let w = DesWorkload::new(vec![
-            DesBlock { data: 1, decrypt: false },
-            DesBlock { data: 2, decrypt: true },
+            DesBlock {
+                data: 1,
+                decrypt: false,
+            },
+            DesBlock {
+                data: 2,
+                decrypt: true,
+            },
         ]);
         assert_eq!(w.block_at_edge(1), None);
         assert_eq!(w.block_at_edge(2).unwrap().data, 1);

@@ -33,7 +33,11 @@ pub enum FirMutation {
 /// The reference (functional) filter over a sample history, newest first.
 #[must_use]
 pub fn reference(history: &[u64; 4]) -> u64 {
-    let acc: u64 = TAPS.iter().zip(history).map(|(t, x)| u64::from(*t) * x).sum();
+    let acc: u64 = TAPS
+        .iter()
+        .zip(history)
+        .map(|(t, x)| u64::from(*t) * x)
+        .sum();
     acc >> 8
 }
 
@@ -94,7 +98,11 @@ impl FirCore {
         if in_valid {
             self.delay_line.rotate_right(1);
             self.delay_line[0] = sample;
-            self.pipe[0] = Some(Work { history: self.delay_line, acc: 0, stage: 1 });
+            self.pipe[0] = Some(Work {
+                history: self.delay_line,
+                acc: 0,
+                stage: 1,
+            });
         }
 
         self.outputs.out_valid = false;
@@ -161,7 +169,11 @@ mod tests {
         let mut core = FirCore::new(FirMutation::LatencyShort);
         let outs = run_single(&mut core, 256, 8);
         assert!(outs[4].out_valid && !outs[5].out_valid);
-        assert_eq!(outs[4].result, reference(&[256, 0, 0, 0]), "value still correct");
+        assert_eq!(
+            outs[4].result,
+            reference(&[256, 0, 0, 0]),
+            "value still correct"
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@ use crate::suite::{PropertyClass, SuiteEntry};
 pub const ABSTRACTED_SIGNALS: &[&str] = &["res_next_cycle"];
 
 fn parse(src: &str) -> ClockedProperty {
-    src.parse().unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
+    src.parse()
+        .unwrap_or_else(|e| panic!("suite property must parse: {src}: {e}"))
 }
 
 /// The 6-property FIR suite.
@@ -30,7 +31,9 @@ pub fn suite() -> Vec<SuiteEntry> {
         SuiteEntry {
             name: "f3",
             intent: "result is announced one cycle ahead, then produced",
-            rtl: parse("always (!in_valid || (next[4](res_next_cycle) && next[5](out_valid))) @clk_pos"),
+            rtl: parse(
+                "always (!in_valid || (next[4](res_next_cycle) && next[5](out_valid))) @clk_pos",
+            ),
             class: PropertyClass::AtCompatible,
         },
         SuiteEntry {

@@ -1,6 +1,6 @@
 //! The FIR RTL model: clocked pipeline plus stimulus generator.
 
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use rtlkit::{Clock, ClockHandle, EdgeDetector};
 
 use super::core::{FirCore, FirMutation};
@@ -8,8 +8,13 @@ use super::workload::FirWorkload;
 use crate::CLOCK_PERIOD_NS;
 
 /// Names of the FIR I/O signals at RTL, in declaration order.
-pub const RTL_SIGNALS: &[&str] =
-    &["in_valid", "sample", "result", "out_valid", "res_next_cycle"];
+pub const RTL_SIGNALS: &[&str] = &[
+    "in_valid",
+    "sample",
+    "result",
+    "out_valid",
+    "res_next_cycle",
+];
 
 struct FirRtl {
     clk: SignalId,
@@ -109,7 +114,11 @@ pub fn build_rtl(workload: &FirWorkload, mutation: FirMutation) -> RtlBuilt {
     });
     sim.subscribe(clk.signal, stim, 0);
 
-    RtlBuilt { sim, clk, end_ns: workload.end_time_ns() }
+    RtlBuilt {
+        sim,
+        clk,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 #[cfg(test)]
@@ -123,26 +132,41 @@ mod tests {
     fn single_sample_filters_5_cycles_after_strobe() {
         let w = FirWorkload::new(vec![512]);
         let mut built = build_rtl(&w, FirMutation::None);
-        let rec =
-            WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, RTL_SIGNALS);
+        let rec = WaveRecorder::install(
+            &mut built.sim,
+            built.clk.signal,
+            ClockEdge::Pos,
+            RTL_SIGNALS,
+        );
         built.run();
         let trace = WaveRecorder::take_trace(&built.sim, rec);
         let steps = trace.steps();
         assert_eq!(steps[1].signal("in_valid"), Some(1));
         assert_eq!(steps[1 + 5].signal("out_valid"), Some(1));
         assert_eq!(steps[1 + 4].signal("res_next_cycle"), Some(1));
-        assert_eq!(steps[1 + 5].signal("result"), Some(reference(&[512, 0, 0, 0])));
+        assert_eq!(
+            steps[1 + 5].signal("result"),
+            Some(reference(&[512, 0, 0, 0]))
+        );
     }
 
     #[test]
     fn stream_retires_every_sample() {
         let w = FirWorkload::random(6, 9);
         let mut built = build_rtl(&w, FirMutation::None);
-        let rec =
-            WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, RTL_SIGNALS);
+        let rec = WaveRecorder::install(
+            &mut built.sim,
+            built.clk.signal,
+            ClockEdge::Pos,
+            RTL_SIGNALS,
+        );
         built.run();
         let trace = WaveRecorder::take_trace(&built.sim, rec);
-        let count = trace.steps().iter().filter(|s| s.signal("out_valid") == Some(1)).count();
+        let count = trace
+            .steps()
+            .iter()
+            .filter(|s| s.signal("out_valid") == Some(1))
+            .count();
         assert_eq!(count, 6);
     }
 }

@@ -1,6 +1,6 @@
 //! The FIR TLM models: cycle-accurate and approximately-timed.
 
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use tlmkit::{CodingStyle, Transaction, TransactionBus};
 
 use super::core::{reference, FirCore, FirMutation};
@@ -8,8 +8,13 @@ use super::workload::FirWorkload;
 use crate::CLOCK_PERIOD_NS;
 
 /// Mirror signals preserved at TLM-CA (full protocol).
-pub const TLM_CA_SIGNALS: &[&str] =
-    &["in_valid", "sample", "result", "out_valid", "res_next_cycle"];
+pub const TLM_CA_SIGNALS: &[&str] = &[
+    "in_valid",
+    "sample",
+    "result",
+    "out_valid",
+    "res_next_cycle",
+];
 
 /// Mirror signals preserved at TLM-AT (prediction output abstracted).
 pub const TLM_AT_SIGNALS: &[&str] = &["in_valid", "sample", "result", "out_valid"];
@@ -92,7 +97,11 @@ pub fn build_tlm_ca(workload: &FirWorkload, mutation: FirMutation) -> TlmBuilt {
         res_nc,
     });
     sim.schedule(SimTime::from_ns(CLOCK_PERIOD_NS), model, 0);
-    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+    TlmBuilt {
+        sim,
+        bus,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 const OP_WRITE: u64 = 0;
@@ -135,7 +144,7 @@ impl Component for FirTlmAt {
                 self.history[0] = s;
                 let mut r = reference(&self.history);
                 if matches!(self.mutation, FirMutation::DropTap) {
-                    r = r.saturating_sub(u64::from(super::core::TAPS[0]) * self.history[0] >> 8);
+                    r = r.saturating_sub((u64::from(super::core::TAPS[0]) * self.history[0]) >> 8);
                 }
                 ctx.write(self.in_valid, 0);
                 ctx.write(self.result, r);
@@ -180,7 +189,11 @@ pub fn build_tlm_at(workload: &FirWorkload, mutation: FirMutation, style: Coding
             ((i as u64) << 1) | OP_WRITE,
         );
     }
-    TlmBuilt { sim, bus, end_ns: workload.end_time_ns() }
+    TlmBuilt {
+        sim,
+        bus,
+        end_ns: workload.end_time_ns(),
+    }
 }
 
 #[cfg(test)]
@@ -199,7 +212,10 @@ mod tests {
         // First sample at edge 2 → result at edge 7 (t = 70).
         let pos = trace.position_at_time(70).expect("transaction at 70ns");
         assert_eq!(trace.steps()[pos].signal("out_valid"), Some(1));
-        assert_eq!(trace.steps()[pos].signal("result"), Some(reference(&[512, 0, 0, 0])));
+        assert_eq!(
+            trace.steps()[pos].signal("result"),
+            Some(reference(&[512, 0, 0, 0]))
+        );
     }
 
     #[test]
@@ -211,7 +227,13 @@ mod tests {
         assert_eq!(built.bus.published(), 4);
         let trace = TxTraceRecorder::take_trace(&built.sim, rec);
         assert_eq!(trace.steps()[1].time_ns, 70);
-        assert_eq!(trace.steps()[1].signal("result"), Some(reference(&[512, 0, 0, 0])));
-        assert_eq!(trace.steps()[3].signal("result"), Some(reference(&[64, 512, 0, 0])));
+        assert_eq!(
+            trace.steps()[1].signal("result"),
+            Some(reference(&[512, 0, 0, 0]))
+        );
+        assert_eq!(
+            trace.steps()[3].signal("result"),
+            Some(reference(&[64, 512, 0, 0]))
+        );
     }
 }

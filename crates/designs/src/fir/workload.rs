@@ -1,7 +1,6 @@
 //! FIR workloads: sample streams shared by all three models.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tinyrng::TinyRng;
 
 use crate::CLOCK_PERIOD_NS;
 
@@ -23,14 +22,18 @@ impl FirWorkload {
     /// A workload from explicit samples with the default spacing.
     #[must_use]
     pub fn new(samples: Vec<u64>) -> FirWorkload {
-        FirWorkload { samples, gap_cycles: Self::DEFAULT_GAP, first_edge: 2 }
+        FirWorkload {
+            samples,
+            gap_cycles: Self::DEFAULT_GAP,
+            first_edge: 2,
+        }
     }
 
     /// `count` random 16-bit samples from a seeded RNG.
     #[must_use]
     pub fn random(count: usize, seed: u64) -> FirWorkload {
-        let mut rng = StdRng::seed_from_u64(seed);
-        FirWorkload::new((0..count).map(|_| u64::from(rng.random::<u16>())).collect())
+        let mut rng = TinyRng::new(seed);
+        FirWorkload::new((0..count).map(|_| u64::from(rng.next_u16())).collect())
     }
 
     /// The rising-edge index at which sample `i` is strobed.
@@ -60,7 +63,9 @@ impl FirWorkload {
         if !offset.is_multiple_of(self.gap_cycles) {
             return None;
         }
-        self.samples.get((offset / self.gap_cycles) as usize).copied()
+        self.samples
+            .get((offset / self.gap_cycles) as usize)
+            .copied()
     }
 
     /// Rising edges needed to retire every sample (with margin).

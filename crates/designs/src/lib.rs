@@ -31,9 +31,11 @@
 
 pub mod colorconv;
 pub mod des56;
+mod factory;
 pub mod fir;
 mod suite;
 
+pub use factory::{build, properties_at, AbsLevel, BuildError, BuiltDesign, DesignKind, Fault};
 pub use suite::{PropertyClass, SuiteEntry};
 
 /// The RTL clock period shared by both IPs, in nanoseconds.

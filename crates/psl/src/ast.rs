@@ -26,7 +26,6 @@ use crate::context::EvalContext;
 /// assert_eq!(p.to_string(), "always ((!ds) || (next[17] rdy))");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Property {
     /// Constant truth value (`true` / `false`).
     Const(bool),
@@ -144,14 +143,21 @@ impl Property {
     #[must_use]
     pub fn next_n(n: u32, p: Property) -> Property {
         assert!(n >= 1, "next[n] requires n >= 1");
-        Property::Next { n, inner: Box::new(p) }
+        Property::Next {
+            n,
+            inner: Box::new(p),
+        }
     }
 
     /// The paper's `next_ε^τ` operator with position `tau` and offset
     /// `eps_ns` nanoseconds.
     #[must_use]
     pub fn next_et(tau: u32, eps_ns: u64, p: Property) -> Property {
-        Property::NextEt { tau, eps_ns, inner: Box::new(p) }
+        Property::NextEt {
+            tau,
+            eps_ns,
+            inner: Box::new(p),
+        }
     }
 
     /// `self until rhs`.
@@ -320,7 +326,6 @@ impl From<Atom> for Property {
 /// # Ok::<(), psl::ParseError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClockedProperty {
     /// The temporal formula.
     pub property: Property,
@@ -342,10 +347,8 @@ mod tests {
     use crate::atom::CmpOp;
 
     fn p1_body() -> Property {
-        Property::not(
-            Property::bool_signal("ds").and(Property::cmp("indata", CmpOp::Eq, 0)),
-        )
-        .or(Property::next_n(17, Property::cmp("out", CmpOp::Ne, 0)))
+        Property::not(Property::bool_signal("ds").and(Property::cmp("indata", CmpOp::Eq, 0)))
+            .or(Property::next_n(17, Property::cmp("out", CmpOp::Ne, 0)))
     }
 
     #[test]
@@ -357,7 +360,9 @@ mod tests {
 
     #[test]
     fn is_boolean_accepts_guards_and_rejects_temporal() {
-        assert!(Property::bool_signal("a").and(Property::cmp("b", CmpOp::Lt, 3)).is_boolean());
+        assert!(Property::bool_signal("a")
+            .and(Property::cmp("b", CmpOp::Lt, 3))
+            .is_boolean());
         assert!(Property::not(Property::t()).is_boolean());
         assert!(!Property::next(Property::t()).is_boolean());
         assert!(!Property::always(Property::t()).is_boolean());
@@ -382,7 +387,9 @@ mod tests {
         assert_eq!(q.bounded_event_depth(), Some(5));
         assert_eq!(Property::always(Property::t()).bounded_event_depth(), None);
         assert_eq!(
-            Property::bool_signal("a").until(Property::bool_signal("b")).bounded_event_depth(),
+            Property::bool_signal("a")
+                .until(Property::bool_signal("b"))
+                .bounded_event_depth(),
             None
         );
     }

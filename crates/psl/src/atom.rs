@@ -10,7 +10,6 @@ use std::fmt;
 
 /// Comparison operator of an [`Atom::Cmp`] atomic proposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CmpOp {
     /// `==`
     Eq,
@@ -84,7 +83,6 @@ impl fmt::Display for CmpOp {
 
 /// An atomic proposition over design-under-verification signals.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Atom {
     /// A boolean signal used directly as a proposition (true iff non-zero).
     Bool(String),
@@ -109,7 +107,11 @@ impl Atom {
     /// A comparison atom `signal op value`.
     #[must_use]
     pub fn cmp(signal: impl Into<String>, op: CmpOp, value: u64) -> Atom {
-        Atom::Cmp { signal: signal.into(), op, value }
+        Atom::Cmp {
+            signal: signal.into(),
+            op,
+            value,
+        }
     }
 
     /// Name of the signal the atom observes.
@@ -131,9 +133,9 @@ impl Atom {
     /// abstraction rules first.
     pub fn eval(&self, env: &dyn SignalEnv) -> Result<bool, MissingSignal> {
         let name = self.signal();
-        let raw = env
-            .signal(name)
-            .ok_or_else(|| MissingSignal { signal: name.to_owned() })?;
+        let raw = env.signal(name).ok_or_else(|| MissingSignal {
+            signal: name.to_owned(),
+        })?;
         Ok(match self {
             Atom::Bool(_) => raw != 0,
             Atom::Cmp { op, value, .. } => op.apply(raw, *value),
@@ -159,7 +161,11 @@ pub struct MissingSignal {
 
 impl fmt::Display for MissingSignal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "signal `{}` is not defined in the evaluation environment", self.signal)
+        write!(
+            f,
+            "signal `{}` is not defined in the evaluation environment",
+            self.signal
+        )
     }
 }
 
@@ -204,7 +210,14 @@ mod tests {
 
     #[test]
     fn negated_is_involutive_and_complementary() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negated().negated(), op);
             for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (7, 7)] {
                 assert_eq!(op.apply(a, b), !op.negated().apply(a, b), "{op} on {a},{b}");

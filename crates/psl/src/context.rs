@@ -9,7 +9,6 @@ use crate::ast::Property;
 
 /// Which clock events sample the property at RTL.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ClockEdge {
     /// Base clock context `true`: the verification tool picks the
     /// granularity (we sample at every clock event, either edge).
@@ -40,7 +39,6 @@ impl ClockEdge {
 /// Guards (`var_expr` in Def. III.2) are boolean-only properties; evaluation
 /// instants where the guard is false are skipped entirely.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EvalContext {
     /// An RTL clock context `@clock_expr` or `@(clock_expr && var_expr)`.
     Clock {
@@ -62,25 +60,37 @@ impl EvalContext {
     /// The RTL clock context `@clk_pos`.
     #[must_use]
     pub fn clk_pos() -> EvalContext {
-        EvalContext::Clock { edge: ClockEdge::Pos, guard: None }
+        EvalContext::Clock {
+            edge: ClockEdge::Pos,
+            guard: None,
+        }
     }
 
     /// The RTL clock context `@clk_neg`.
     #[must_use]
     pub fn clk_neg() -> EvalContext {
-        EvalContext::Clock { edge: ClockEdge::Neg, guard: None }
+        EvalContext::Clock {
+            edge: ClockEdge::Neg,
+            guard: None,
+        }
     }
 
     /// The RTL clock context `@clk` (any edge).
     #[must_use]
     pub fn clk_any() -> EvalContext {
-        EvalContext::Clock { edge: ClockEdge::Any, guard: None }
+        EvalContext::Clock {
+            edge: ClockEdge::Any,
+            guard: None,
+        }
     }
 
     /// The base clock context (`true`).
     #[must_use]
     pub fn clk_true() -> EvalContext {
-        EvalContext::Clock { edge: ClockEdge::True, guard: None }
+        EvalContext::Clock {
+            edge: ClockEdge::True,
+            guard: None,
+        }
     }
 
     /// A guarded clock context `@(edge && guard)`.
@@ -91,8 +101,14 @@ impl EvalContext {
     /// `var_expr` to be a boolean expression over non-clock variables).
     #[must_use]
     pub fn clock_guarded(edge: ClockEdge, guard: Property) -> EvalContext {
-        assert!(guard.is_boolean(), "context guard must be a boolean expression");
-        EvalContext::Clock { edge, guard: Some(Box::new(guard)) }
+        assert!(
+            guard.is_boolean(),
+            "context guard must be a boolean expression"
+        );
+        EvalContext::Clock {
+            edge,
+            guard: Some(Box::new(guard)),
+        }
     }
 
     /// The basic transaction context `T_b` (Def. III.2).
@@ -108,8 +124,13 @@ impl EvalContext {
     /// Panics if `guard` is not boolean-only.
     #[must_use]
     pub fn tb_guarded(guard: Property) -> EvalContext {
-        assert!(guard.is_boolean(), "context guard must be a boolean expression");
-        EvalContext::Transaction { guard: Some(Box::new(guard)) }
+        assert!(
+            guard.is_boolean(),
+            "context guard must be a boolean expression"
+        );
+        EvalContext::Transaction {
+            guard: Some(Box::new(guard)),
+        }
     }
 
     /// The context's guard, if any.

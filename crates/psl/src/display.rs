@@ -80,7 +80,10 @@ impl fmt::Display for EvalContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalContext::Clock { edge, guard: None } => write!(f, "@{}", edge.symbol()),
-            EvalContext::Clock { edge, guard: Some(g) } => {
+            EvalContext::Clock {
+                edge,
+                guard: Some(g),
+            } => {
                 write!(f, "@({} && ", edge.symbol())?;
                 write_child(f, g)?;
                 f.write_str(")")
@@ -142,7 +145,10 @@ mod tests {
             EvalContext::clock_guarded(ClockEdge::Neg, g.clone()).to_string(),
             "@(clk_neg && (mode == 1))"
         );
-        assert_eq!(EvalContext::tb_guarded(g).to_string(), "@(T_b && (mode == 1))");
+        assert_eq!(
+            EvalContext::tb_guarded(g).to_string(),
+            "@(T_b && (mode == 1))"
+        );
     }
 
     #[test]

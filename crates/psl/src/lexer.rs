@@ -88,7 +88,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` at byte {}", self.found, self.pos)
+        write!(
+            f,
+            "unexpected character `{}` at byte {}",
+            self.found, self.pos
+        )
     }
 }
 
@@ -112,75 +116,126 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 continue;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, pos });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, pos });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    pos,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { token: Token::LBracket, pos });
+                out.push(Spanned {
+                    token: Token::LBracket,
+                    pos,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { token: Token::RBracket, pos });
+                out.push(Spanned {
+                    token: Token::RBracket,
+                    pos,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, pos });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    pos,
+                });
                 i += 1;
             }
             '@' => {
-                out.push(Spanned { token: Token::At, pos });
+                out.push(Spanned {
+                    token: Token::At,
+                    pos,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::NotEq, pos });
+                    out.push(Spanned {
+                        token: Token::NotEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Bang, pos });
+                    out.push(Spanned {
+                        token: Token::Bang,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '&' if bytes.get(i + 1) == Some(&b'&') => {
-                out.push(Spanned { token: Token::AndAnd, pos });
+                out.push(Spanned {
+                    token: Token::AndAnd,
+                    pos,
+                });
                 i += 2;
             }
             '|' if bytes.get(i + 1) == Some(&b'|') => {
-                out.push(Spanned { token: Token::OrOr, pos });
+                out.push(Spanned {
+                    token: Token::OrOr,
+                    pos,
+                });
                 i += 2;
             }
             '-' if bytes.get(i + 1) == Some(&b'>') => {
-                out.push(Spanned { token: Token::Arrow, pos });
+                out.push(Spanned {
+                    token: Token::Arrow,
+                    pos,
+                });
                 i += 2;
             }
             '=' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Spanned { token: Token::EqEq, pos });
+                out.push(Spanned {
+                    token: Token::EqEq,
+                    pos,
+                });
                 i += 2;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Le, pos });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, pos });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Ge, pos });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, pos });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '0'..='9' => {
                 let (value, next) = lex_number(src, i);
-                out.push(Spanned { token: Token::Int(value), pos });
+                out.push(Spanned {
+                    token: Token::Int(value),
+                    pos,
+                });
                 i = next;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -190,7 +245,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 {
                     i += 1;
                 }
-                out.push(Spanned { token: Token::Ident(src[start..i].to_owned()), pos });
+                out.push(Spanned {
+                    token: Token::Ident(src[start..i].to_owned()),
+                    pos,
+                });
             }
             other => return Err(LexError { found: other, pos }),
         }
@@ -200,8 +258,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
 
 fn lex_number(src: &str, start: usize) -> (u64, usize) {
     let bytes = src.as_bytes();
-    if bytes.get(start) == Some(&b'0')
-        && matches!(bytes.get(start + 1), Some(&b'x') | Some(&b'X'))
+    if bytes.get(start) == Some(&b'0') && matches!(bytes.get(start + 1), Some(&b'x') | Some(&b'X'))
     {
         let mut i = start + 2;
         let mut value: u64 = 0;
@@ -275,21 +332,27 @@ mod tests {
 
     #[test]
     fn not_equal_vs_bang() {
-        assert_eq!(tokens("!a != 1"), vec![
-            Token::Bang,
-            Token::Ident("a".into()),
-            Token::NotEq,
-            Token::Int(1),
-        ]);
+        assert_eq!(
+            tokens("!a != 1"),
+            vec![
+                Token::Bang,
+                Token::Ident("a".into()),
+                Token::NotEq,
+                Token::Int(1),
+            ]
+        );
     }
 
     #[test]
     fn underscore_identifiers() {
-        assert_eq!(tokens("T_b rdy_next_cycle _x"), vec![
-            Token::Ident("T_b".into()),
-            Token::Ident("rdy_next_cycle".into()),
-            Token::Ident("_x".into()),
-        ]);
+        assert_eq!(
+            tokens("T_b rdy_next_cycle _x"),
+            vec![
+                Token::Ident("T_b".into()),
+                Token::Ident("rdy_next_cycle".into()),
+                Token::Ident("_x".into()),
+            ]
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: format!("unexpected character `{}`", e.found), pos: e.pos }
+        ParseError {
+            message: format!("unexpected character `{}`", e.found),
+            pos: e.pos,
+        }
     }
 }
 
@@ -82,7 +85,11 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse_property(src: &str) -> Result<Property, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens: &tokens, idx: 0, len: src.len() };
+    let mut p = Parser {
+        tokens: &tokens,
+        idx: 0,
+        len: src.len(),
+    };
     let prop = p.property()?;
     p.expect_end()?;
     Ok(prop)
@@ -102,7 +109,11 @@ pub fn parse_property(src: &str) -> Result<Property, ParseError> {
 /// ```
 pub fn parse_clocked(src: &str) -> Result<ClockedProperty, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens: &tokens, idx: 0, len: src.len() };
+    let mut p = Parser {
+        tokens: &tokens,
+        idx: 0,
+        len: src.len(),
+    };
     let prop = p.property()?;
     let context = if p.eat(&Token::At) {
         p.context()?
@@ -177,7 +188,10 @@ impl Parser<'_> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), pos: self.pos() }
+        ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        }
     }
 
     fn int(&mut self) -> Result<u64, ParseError> {
@@ -273,8 +287,8 @@ impl Parser<'_> {
                     self.idx += 1;
                     self.expect(&Token::LBracket)?;
                     let tau = self.int()?;
-                    let tau = u32::try_from(tau)
-                        .map_err(|_| self.error("next_et tau out of range"))?;
+                    let tau =
+                        u32::try_from(tau).map_err(|_| self.error("next_et tau out of range"))?;
                     self.expect(&Token::Comma)?;
                     let eps = self.int()?;
                     self.expect(&Token::RBracket)?;
@@ -387,9 +401,13 @@ impl Parser<'_> {
                 "true" => Ok(ContextHead::Clock(ClockEdge::True)),
                 "T_b" => Ok(ContextHead::Transaction),
                 other => {
-                    let message =
-                        format!("unknown context `{other}` (expected clk, clk_pos, clk_neg, true or T_b)");
-                    Err(ParseError { message, pos: self.pos() })
+                    let message = format!(
+                        "unknown context `{other}` (expected clk, clk_pos, clk_neg, true or T_b)"
+                    );
+                    Err(ParseError {
+                        message,
+                        pos: self.pos(),
+                    })
                 }
             },
             _ => Err(self.error("expected a context after `@`")),
@@ -408,7 +426,9 @@ mod tests {
 
     #[test]
     fn parses_paper_p1() {
-        let p: Property = "always (!(ds && indata == 0) || next[17](out != 0))".parse().unwrap();
+        let p: Property = "always (!(ds && indata == 0) || next[17](out != 0))"
+            .parse()
+            .unwrap();
         let expected = Property::always(
             Property::not(Property::bool_signal("ds").and(Property::cmp("indata", CmpOp::Eq, 0)))
                 .or(Property::next_n(17, Property::cmp("out", CmpOp::Ne, 0))),
@@ -418,14 +438,15 @@ mod tests {
 
     #[test]
     fn parses_paper_p2() {
-        let p: ClockedProperty =
-            "always (!ds || (next (!ds until next(rdy)))) @clk_pos".parse().unwrap();
-        let expected = Property::always(Property::not(Property::bool_signal("ds")).or(
-            Property::next(
+        let p: ClockedProperty = "always (!ds || (next (!ds until next(rdy)))) @clk_pos"
+            .parse()
+            .unwrap();
+        let expected = Property::always(
+            Property::not(Property::bool_signal("ds")).or(Property::next(
                 Property::not(Property::bool_signal("ds"))
                     .until(Property::next(Property::bool_signal("rdy"))),
-            ),
-        ));
+            )),
+        );
         assert_eq!(p.property, expected);
         assert_eq!(p.context, EvalContext::clk_pos());
     }
@@ -433,11 +454,17 @@ mod tests {
     #[test]
     fn parses_paper_q2_with_next_et() {
         let q: ClockedProperty =
-            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b".parse().unwrap();
-        let expected = Property::always(Property::not(Property::bool_signal("ds")).or(
-            Property::next_et(1, 10, Property::not(Property::bool_signal("ds")))
-                .until(Property::next_et(2, 20, Property::bool_signal("rdy"))),
-        ));
+            "always (!ds || (next_et[1,10](!ds) until next_et[2,20](rdy))) @T_b"
+                .parse()
+                .unwrap();
+        let expected = Property::always(
+            Property::not(Property::bool_signal("ds")).or(Property::next_et(
+                1,
+                10,
+                Property::not(Property::bool_signal("ds")),
+            )
+            .until(Property::next_et(2, 20, Property::bool_signal("rdy")))),
+        );
         assert_eq!(q.property, expected);
         assert_eq!(q.context, EvalContext::tb());
     }
@@ -482,19 +509,27 @@ mod tests {
             EvalContext::clock_guarded(ClockEdge::Pos, Property::cmp("mode", CmpOp::Eq, 1))
         );
         let q: ClockedProperty = "rdy @(T_b && mode == 1)".parse().unwrap();
-        assert_eq!(q.context, EvalContext::tb_guarded(Property::cmp("mode", CmpOp::Eq, 1)));
+        assert_eq!(
+            q.context,
+            EvalContext::tb_guarded(Property::cmp("mode", CmpOp::Eq, 1))
+        );
     }
 
     #[test]
     fn rejects_temporal_guard() {
-        let err = "rdy @(clk_pos && next rdy)".parse::<ClockedProperty>().unwrap_err();
+        let err = "rdy @(clk_pos && next rdy)"
+            .parse::<ClockedProperty>()
+            .unwrap_err();
         assert!(err.message.contains("boolean"), "{err}");
     }
 
     #[test]
     fn rejects_keyword_as_signal() {
         let err = "always && rdy".parse::<Property>().unwrap_err();
-        assert!(err.message.contains("property") || err.message.contains("keyword"), "{err}");
+        assert!(
+            err.message.contains("property") || err.message.contains("keyword"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -524,8 +559,9 @@ mod tests {
     #[test]
     fn never_desugars_to_always_not() {
         let p: Property = "never (rdy && ds)".parse().unwrap();
-        let expected =
-            Property::always(Property::not(Property::bool_signal("rdy").and(Property::bool_signal("ds"))));
+        let expected = Property::always(Property::not(
+            Property::bool_signal("rdy").and(Property::bool_signal("ds")),
+        ));
         assert_eq!(p, expected);
         // Round-trips through the desugared form.
         assert_eq!(p.to_string().parse::<Property>().unwrap(), p);
@@ -534,6 +570,9 @@ mod tests {
     #[test]
     fn double_negation_parses() {
         let p: Property = "!!rdy".parse().unwrap();
-        assert_eq!(p, Property::not(Property::not(Property::bool_signal("rdy"))));
+        assert_eq!(
+            p,
+            Property::not(Property::not(Property::bool_signal("rdy")))
+        );
     }
 }

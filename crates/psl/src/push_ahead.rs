@@ -105,9 +105,7 @@ fn distribute(n: u32, p: Property) -> Result<Property, PushAheadError> {
     match p {
         // Constants are literals: keep them under `next`. Folding
         // `next(const)` to `const` would be exact only on infinite traces.
-        Property::Const(_) | Property::Atom(_) | Property::Not(_) => {
-            Ok(Property::next_n(n, p))
-        }
+        Property::Const(_) | Property::Atom(_) | Property::Not(_) => Ok(Property::next_n(n, p)),
         Property::Next { n: m, inner } => Ok(Property::next_n(n + m, *inner)),
         Property::And(a, b) => Ok(distribute(n, *a)?.and(distribute(n, *b)?)),
         Property::Or(a, b) => Ok(distribute(n, *a)?.or(distribute(n, *b)?)),
@@ -142,7 +140,9 @@ mod tests {
     use super::*;
 
     fn pushed(src: &str) -> String {
-        push_ahead(&src.parse::<Property>().unwrap()).unwrap().to_string()
+        push_ahead(&src.parse::<Property>().unwrap())
+            .unwrap()
+            .to_string()
     }
 
     #[test]
@@ -167,7 +167,10 @@ mod tests {
     fn merges_adjacent_nexts() {
         assert_eq!(pushed("next next next a"), "next[3] a");
         assert_eq!(pushed("next[5] next[2] a"), "next[7] a");
-        assert_eq!(pushed("next (next a || next[2] b)"), "(next[2] a) || (next[3] b)");
+        assert_eq!(
+            pushed("next (next a || next[2] b)"),
+            "(next[2] a) || (next[3] b)"
+        );
     }
 
     #[test]

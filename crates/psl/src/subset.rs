@@ -86,7 +86,9 @@ pub fn validate(p: &Property) -> Result<(), SimpleSubsetViolation> {
             if inner.is_boolean() {
                 Ok(())
             } else {
-                Err(SimpleSubsetViolation::NonBooleanNegation { operand: inner.to_string() })
+                Err(SimpleSubsetViolation::NonBooleanNegation {
+                    operand: inner.to_string(),
+                })
             }
         }
         Property::Implies(..) => Err(SimpleSubsetViolation::Implication),
@@ -106,7 +108,9 @@ pub fn validate(p: &Property) -> Result<(), SimpleSubsetViolation> {
         Property::Next { inner, .. } | Property::NextEt { inner, .. } => validate(inner),
         Property::Until(a, b) => {
             if !is_relaxed_until_lhs(a) {
-                return Err(SimpleSubsetViolation::TemporalUntilLhs { operand: a.to_string() });
+                return Err(SimpleSubsetViolation::TemporalUntilLhs {
+                    operand: a.to_string(),
+                });
             }
             validate(a)?;
             validate(b)
@@ -115,7 +119,9 @@ pub fn validate(p: &Property) -> Result<(), SimpleSubsetViolation> {
             // `release` in the simple subset is restricted symmetrically to
             // until; we apply the same relaxed left-operand rule.
             if !is_relaxed_until_lhs(a) {
-                return Err(SimpleSubsetViolation::TemporalUntilLhs { operand: a.to_string() });
+                return Err(SimpleSubsetViolation::TemporalUntilLhs {
+                    operand: a.to_string(),
+                });
             }
             validate(a)?;
             validate(b)

@@ -132,7 +132,9 @@ impl Trace {
     /// Index of the instant at exactly `time_ns`, if one exists.
     #[must_use]
     pub fn position_at_time(&self, time_ns: u64) -> Option<usize> {
-        self.steps.binary_search_by_key(&time_ns, |s| s.time_ns).ok()
+        self.steps
+            .binary_search_by_key(&time_ns, |s| s.time_ns)
+            .ok()
     }
 
     /// Evaluates `p` at instant `pos`.
@@ -144,7 +146,10 @@ impl Trace {
     ///   signal.
     pub fn eval(&self, p: &Property, pos: usize) -> Result<bool, EvalError> {
         if pos >= self.steps.len() {
-            return Err(EvalError::PositionOutOfRange { pos, len: self.steps.len() });
+            return Err(EvalError::PositionOutOfRange {
+                pos,
+                len: self.steps.len(),
+            });
         }
         self.eval_inner(p, pos)
     }
@@ -235,7 +240,10 @@ impl Trace {
     /// Same conditions as [`eval`](Trace::eval).
     pub fn eval_weak(&self, p: &Property, pos: usize) -> Result<bool, EvalError> {
         if pos >= self.steps.len() {
-            return Err(EvalError::PositionOutOfRange { pos, len: self.steps.len() });
+            return Err(EvalError::PositionOutOfRange {
+                pos,
+                len: self.steps.len(),
+            });
         }
         self.eval_weak_inner(p, pos)
     }
@@ -378,7 +386,8 @@ impl Extend<Step> for Trace {
     /// Panics if step times are not strictly increasing.
     fn extend<I: IntoIterator<Item = Step>>(&mut self, iter: I) {
         for s in iter {
-            self.push(s).expect("step times must be strictly increasing");
+            self.push(s)
+                .expect("step times must be strictly increasing");
         }
     }
 }
@@ -397,7 +406,9 @@ pub fn eval_boolean(p: &Property, env: &dyn SignalEnv) -> Result<bool, EvalError
         Property::And(a, b) => Ok(eval_boolean(a, env)? && eval_boolean(b, env)?),
         Property::Or(a, b) => Ok(eval_boolean(a, env)? || eval_boolean(b, env)?),
         Property::Implies(a, b) => Ok(!eval_boolean(a, env)? || eval_boolean(b, env)?),
-        _ => Err(EvalError::NotBoolean { property: p.to_string() }),
+        _ => Err(EvalError::NotBoolean {
+            property: p.to_string(),
+        }),
     }
 }
 
@@ -431,14 +442,23 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::NonMonotonicTime { last, next } => {
-                write!(f, "step time {next}ns is not after previous step time {last}ns")
+                write!(
+                    f,
+                    "step time {next}ns is not after previous step time {last}ns"
+                )
             }
             EvalError::PositionOutOfRange { pos, len } => {
-                write!(f, "evaluation position {pos} out of range for trace of length {len}")
+                write!(
+                    f,
+                    "evaluation position {pos} out of range for trace of length {len}"
+                )
             }
             EvalError::MissingSignal(e) => write!(f, "{e}"),
             EvalError::NotBoolean { property } => {
-                write!(f, "expected a boolean expression, found temporal property `{property}`")
+                write!(
+                    f,
+                    "expected a boolean expression, found temporal property `{property}`"
+                )
             }
         }
     }
@@ -633,8 +653,9 @@ mod tests {
             steps.push(s);
         }
         let t: Trace = steps.into_iter().collect();
-        let p1: ClockedProperty =
-            "always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos".parse().unwrap();
+        let p1: ClockedProperty = "always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos"
+            .parse()
+            .unwrap();
         assert!(t.satisfies(&p1).unwrap());
     }
 }

@@ -1,219 +1,270 @@
-//! Property-based tests: printer/parser round-trip, NNF soundness and
+//! Randomized tests: printer/parser round-trip, NNF soundness and
 //! push-ahead soundness against the finite-trace oracle.
+//!
+//! Formulas and traces are generated from a seeded [`TinyRng`] loop (the
+//! offline substitute for `proptest`); failure messages carry the case
+//! index for direct reproduction.
 
-use proptest::prelude::*;
 use psl::nnf::{is_nnf, to_nnf};
 use psl::push_ahead::{is_pushed, push_ahead};
 use psl::trace::{Step, Trace};
 use psl::{Atom, CmpOp, Property};
+use tinyrng::TinyRng;
+
+const CASES: u64 = 400;
 
 /// Signals the generated formulas and traces talk about.
 const SIGNALS: &[&str] = &["a", "b", "c", "d"];
 
-fn arb_atom() -> impl Strategy<Value = Atom> {
-    prop_oneof![
-        prop::sample::select(SIGNALS).prop_map(Atom::bool),
-        (
-            prop::sample::select(SIGNALS),
-            prop::sample::select(vec![
-                CmpOp::Eq,
-                CmpOp::Ne,
-                CmpOp::Lt,
-                CmpOp::Le,
-                CmpOp::Gt,
-                CmpOp::Ge
-            ]),
-            0u64..4
-        )
-            .prop_map(|(s, op, v)| Atom::cmp(s, op, v)),
-    ]
+const CMP_OPS: &[CmpOp] = &[
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+fn gen_atom(rng: &mut TinyRng) -> Atom {
+    if rng.flip() {
+        Atom::bool(*rng.pick(SIGNALS))
+    } else {
+        Atom::cmp(*rng.pick(SIGNALS), *rng.pick(CMP_OPS), rng.range_u64(0, 4))
+    }
 }
 
-fn arb_boolean() -> impl Strategy<Value = Property> {
-    let leaf = prop_oneof![
-        Just(Property::t()),
-        Just(Property::f()),
-        arb_atom().prop_map(Property::Atom),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Property::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
-        ]
-    })
+fn gen_leaf(rng: &mut TinyRng) -> Property {
+    match rng.range_u32(0, 4) {
+        0 => Property::t(),
+        1 => Property::f(),
+        _ => Property::Atom(gen_atom(rng)),
+    }
 }
 
-/// Arbitrary properties over the full grammar (excluding `next_ε^τ`, which
-/// never occurs in RTL input properties). Used for structural tests.
-fn arb_any_property() -> impl Strategy<Value = Property> {
-    let leaf = prop_oneof![
-        Just(Property::t()),
-        Just(Property::f()),
-        arb_atom().prop_map(Property::Atom),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Property::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            (1u32..4, inner.clone()).prop_map(|(n, p)| Property::next_n(n, p)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.release(b)),
-            inner.clone().prop_map(Property::always),
-            inner.prop_map(Property::eventually),
-        ]
-    })
+/// Boolean formulas (no temporal operators).
+fn gen_boolean(rng: &mut TinyRng, depth: u32) -> Property {
+    if depth == 0 {
+        return gen_leaf(rng);
+    }
+    match rng.range_u32(0, 5) {
+        0 => Property::not(gen_boolean(rng, depth - 1)),
+        1 => gen_boolean(rng, depth - 1).and(gen_boolean(rng, depth - 1)),
+        2 => gen_boolean(rng, depth - 1).or(gen_boolean(rng, depth - 1)),
+        3 => gen_boolean(rng, depth - 1).implies(gen_boolean(rng, depth - 1)),
+        _ => gen_leaf(rng),
+    }
 }
 
-/// Simple-subset-style properties: negations and implication antecedents are
-/// boolean-only. This is the realistic RTL-property input class (the PSL
-/// simple subset imposes the same restriction) and the class on which NNF is
-/// an exact equivalence even on finite traces.
-fn arb_subset_property() -> impl Strategy<Value = Property> {
-    let leaf = prop_oneof![
-        Just(Property::t()),
-        Just(Property::f()),
-        arb_atom().prop_map(Property::Atom),
-        arb_boolean(),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (arb_boolean(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            (1u32..4, inner.clone()).prop_map(|(n, p)| Property::next_n(n, p)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.release(b)),
-            inner.clone().prop_map(Property::always),
-            inner.prop_map(Property::eventually),
-        ]
-    })
+/// Properties over the full grammar (excluding `next_ε^τ`, which never
+/// occurs in RTL input properties). Used for structural tests.
+fn gen_any(rng: &mut TinyRng, depth: u32) -> Property {
+    if depth == 0 {
+        return gen_leaf(rng);
+    }
+    match rng.range_u32(0, 10) {
+        0 => Property::not(gen_any(rng, depth - 1)),
+        1 => gen_any(rng, depth - 1).and(gen_any(rng, depth - 1)),
+        2 => gen_any(rng, depth - 1).or(gen_any(rng, depth - 1)),
+        3 => gen_any(rng, depth - 1).implies(gen_any(rng, depth - 1)),
+        4 => Property::next_n(rng.range_u32(1, 4), gen_any(rng, depth - 1)),
+        5 => gen_any(rng, depth - 1).until(gen_any(rng, depth - 1)),
+        6 => gen_any(rng, depth - 1).release(gen_any(rng, depth - 1)),
+        7 => Property::always(gen_any(rng, depth - 1)),
+        8 => Property::eventually(gen_any(rng, depth - 1)),
+        _ => gen_leaf(rng),
+    }
 }
 
-/// Arbitrary NNF properties without implication, suitable for push-ahead.
-fn arb_nnf_property() -> impl Strategy<Value = Property> {
-    arb_subset_property().prop_map(|p| to_nnf(&p))
+/// Simple-subset-style properties: negations and implication antecedents
+/// are boolean-only — the realistic RTL-property input class and the class
+/// on which NNF is an exact equivalence even on finite traces.
+fn gen_subset(rng: &mut TinyRng, depth: u32) -> Property {
+    if depth == 0 {
+        return gen_boolean(rng, 1);
+    }
+    match rng.range_u32(0, 9) {
+        0 => gen_subset(rng, depth - 1).and(gen_subset(rng, depth - 1)),
+        1 => gen_subset(rng, depth - 1).or(gen_subset(rng, depth - 1)),
+        2 => gen_boolean(rng, 2).implies(gen_subset(rng, depth - 1)),
+        3 => Property::next_n(rng.range_u32(1, 4), gen_subset(rng, depth - 1)),
+        4 => gen_subset(rng, depth - 1).until(gen_subset(rng, depth - 1)),
+        5 => gen_subset(rng, depth - 1).release(gen_subset(rng, depth - 1)),
+        6 => Property::always(gen_subset(rng, depth - 1)),
+        7 => Property::eventually(gen_subset(rng, depth - 1)),
+        _ => gen_boolean(rng, 2),
+    }
+}
+
+/// NNF properties without implication, suitable for push-ahead.
+fn gen_nnf(rng: &mut TinyRng, depth: u32) -> Property {
+    to_nnf(&gen_subset(rng, depth))
 }
 
 /// A clock-tick trace (10 ns period) with random values for all signals.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(prop::collection::vec(0u64..4, SIGNALS.len()), 1..20).prop_map(
-        |rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, row)| {
-                    Step::new(
-                        10 + 10 * i as u64,
-                        SIGNALS.iter().zip(row).map(|(n, v)| ((*n).to_owned(), v)),
-                    )
-                })
-                .collect()
-        },
-    )
+fn gen_trace(rng: &mut TinyRng) -> Trace {
+    (0..rng.range_usize(1, 20))
+        .map(|i| {
+            Step::new(
+                10 + 10 * i as u64,
+                SIGNALS
+                    .iter()
+                    .map(|n| ((*n).to_owned(), rng.range_u64(0, 4))),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    /// `parse(print(p)) == p` for every property.
-    #[test]
-    fn print_parse_roundtrip(p in arb_any_property()) {
+/// `parse(print(p)) == p` for every property.
+#[test]
+fn print_parse_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0001, case);
+        let p = gen_any(&mut rng, 4);
         let printed = p.to_string();
         let reparsed: Property = printed.parse().expect("printed property must reparse");
-        prop_assert_eq!(reparsed, p, "printed as {}", printed);
+        assert_eq!(reparsed, p, "case {case}: printed as {printed}");
     }
+}
 
-    /// NNF output is in negation normal form, for the full grammar.
-    #[test]
-    fn nnf_output_is_nnf(p in arb_any_property()) {
-        prop_assert!(is_nnf(&to_nnf(&p)));
+/// NNF output is in negation normal form, for the full grammar.
+#[test]
+fn nnf_output_is_nnf() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0002, case);
+        let p = gen_any(&mut rng, 4);
+        assert!(is_nnf(&to_nnf(&p)), "case {case}: {p}");
     }
+}
 
-    /// NNF preserves finite-trace semantics at every position for
-    /// simple-subset-style inputs (negations over booleans), in both the
-    /// neutral and the weak view.
-    #[test]
-    fn nnf_preserves_semantics(p in arb_subset_property(), t in arb_trace()) {
+/// NNF preserves finite-trace semantics at every position for
+/// simple-subset-style inputs (negations over booleans), in both the
+/// neutral and the weak view.
+#[test]
+fn nnf_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0003, case);
+        let p = gen_subset(&mut rng, 4);
+        let t = gen_trace(&mut rng);
         let n = to_nnf(&p);
         for pos in 0..t.len() {
-            prop_assert_eq!(
+            assert_eq!(
                 t.eval(&p, pos).unwrap(),
                 t.eval(&n, pos).unwrap(),
-                "neutral view, position {} of {} vs {}", pos, &p, &n
+                "case {case}: neutral view, position {pos} of {p} vs {n}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 t.eval_weak(&p, pos).unwrap(),
                 t.eval_weak(&n, pos).unwrap(),
-                "weak view, position {} of {} vs {}", pos, &p, &n
+                "case {case}: weak view, position {pos} of {p} vs {n}"
             );
         }
     }
+}
 
-    /// Push-ahead output has all `next`s on literals.
-    #[test]
-    fn push_ahead_output_is_pushed(p in arb_nnf_property()) {
+/// Push-ahead output has all `next`s on literals.
+#[test]
+fn push_ahead_output_is_pushed() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0004, case);
+        let p = gen_nnf(&mut rng, 4);
         let out = push_ahead(&p).expect("NNF properties always push");
-        prop_assert!(is_pushed(&out), "{} -> {}", &p, &out);
+        assert!(is_pushed(&out), "case {case}: {p} -> {out}");
     }
+}
 
-    /// Push-ahead preserves trace semantics: exactly, at every position,
-    /// under the weak view (the view under which the distribution rules are
-    /// equivalences on truncated traces).
-    #[test]
-    fn push_ahead_preserves_weak_semantics(p in arb_nnf_property(), t in arb_trace()) {
+/// Push-ahead preserves trace semantics: exactly, at every position, under
+/// the weak view (the view under which the distribution rules are
+/// equivalences on truncated traces).
+#[test]
+fn push_ahead_preserves_weak_semantics() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0005, case);
+        let p = gen_nnf(&mut rng, 4);
+        let t = gen_trace(&mut rng);
         let out = push_ahead(&p).expect("NNF properties always push");
         for pos in 0..t.len() {
-            prop_assert_eq!(
+            assert_eq!(
                 t.eval_weak(&p, pos).unwrap(),
                 t.eval_weak(&out, pos).unwrap(),
-                "position {} of {} vs {}", pos, &p, &out
+                "case {case}: position {pos} of {p} vs {out}"
             );
         }
     }
+}
 
-    /// Push-ahead preserves neutral-view semantics for *bounded* properties
-    /// evaluated with enough trace left for every obligation to complete —
-    /// the situation of a property that finishes before simulation ends.
-    #[test]
-    fn push_ahead_preserves_neutral_semantics_when_bounded(
-        p in arb_nnf_property(),
-        t in arb_trace(),
-    ) {
+/// Push-ahead preserves neutral-view semantics for *bounded* properties
+/// evaluated with enough trace left for every obligation to complete —
+/// the situation of a property that finishes before simulation ends.
+#[test]
+fn push_ahead_preserves_neutral_semantics_when_bounded() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0006, case);
+        let p = gen_nnf(&mut rng, 4);
+        let t = gen_trace(&mut rng);
         let out = push_ahead(&p).expect("NNF properties always push");
         if let (Some(d1), Some(d2)) = (p.bounded_event_depth(), out.bounded_event_depth()) {
             let depth = d1.max(d2) as usize;
             for pos in 0..t.len().saturating_sub(depth) {
-                prop_assert_eq!(
+                assert_eq!(
                     t.eval(&p, pos).unwrap(),
                     t.eval(&out, pos).unwrap(),
-                    "position {} of {} vs {}", pos, &p, &out
+                    "case {case}: position {pos} of {p} vs {out}"
                 );
             }
         }
     }
+}
 
-    /// NNF is idempotent.
-    #[test]
-    fn nnf_idempotent(p in arb_any_property()) {
+/// NNF is idempotent.
+#[test]
+fn nnf_idempotent() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0007, case);
+        let p = gen_any(&mut rng, 4);
         let once = to_nnf(&p);
-        prop_assert_eq!(to_nnf(&once), once);
+        assert_eq!(to_nnf(&once), once, "case {case}");
     }
+}
 
-    /// Push-ahead is idempotent.
-    #[test]
-    fn push_ahead_idempotent(p in arb_nnf_property()) {
+/// Push-ahead is idempotent.
+#[test]
+fn push_ahead_idempotent() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0008, case);
+        let p = gen_nnf(&mut rng, 4);
         let once = push_ahead(&p).unwrap();
-        prop_assert_eq!(push_ahead(&once).unwrap(), once);
+        assert_eq!(push_ahead(&once).unwrap(), once, "case {case}");
     }
+}
 
-    /// The neutral and weak views agree on boolean formulas.
-    #[test]
-    fn views_agree_on_booleans(p in arb_boolean(), t in arb_trace()) {
+/// Regression (ex-proptest shrink): `next (true && next (false || false))`
+/// on a single-step trace — push-ahead must agree with the original under
+/// the weak view even when every obligation falls off the trace end.
+#[test]
+fn push_ahead_regression_single_step_trace() {
+    let p = Property::next_n(
+        1,
+        Property::t().and(Property::next_n(1, Property::f().or(Property::f()))),
+    );
+    let p = to_nnf(&p);
+    let out = push_ahead(&p).expect("pushes");
+    let t: Trace =
+        std::iter::once(Step::new(10, SIGNALS.iter().map(|n| ((*n).to_owned(), 0)))).collect();
+    assert_eq!(t.eval_weak(&p, 0).unwrap(), t.eval_weak(&out, 0).unwrap());
+}
+
+/// The neutral and weak views agree on boolean formulas.
+#[test]
+fn views_agree_on_booleans() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x9A11_0009, case);
+        let p = gen_boolean(&mut rng, 3);
+        let t = gen_trace(&mut rng);
         for pos in 0..t.len() {
-            prop_assert_eq!(
+            assert_eq!(
                 t.eval(&p, pos).unwrap(),
                 t.eval_weak(&p, pos).unwrap(),
+                "case {case}: position {pos} of {p}"
             );
         }
     }

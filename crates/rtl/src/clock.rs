@@ -1,6 +1,6 @@
 //! Free-running clock generation and edge classification.
 
-use desim::{Component, ComponentId, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, ComponentId, Event, SignalId, SimCtx, SimTime, Simulation};
 
 /// A free-running clock driving a boolean signal.
 ///
@@ -51,10 +51,17 @@ impl Clock {
             "clock period must be even and positive"
         );
         let signal = sim.add_signal(name, 0);
-        let component = sim.add_component(Clock { signal, half_period_ns: period_ns / 2 });
+        let component = sim.add_component(Clock {
+            signal,
+            half_period_ns: period_ns / 2,
+        });
         // First rising edge at one full period.
         sim.schedule(SimTime::from_ns(period_ns), component, 0);
-        ClockHandle { signal, component, period_ns }
+        ClockHandle {
+            signal,
+            component,
+            period_ns,
+        }
     }
 }
 

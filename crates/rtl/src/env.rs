@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use desim::{SimCtx, SignalId, Simulation};
+use desim::{SignalId, SimCtx, Simulation};
 use psl::SignalEnv;
 
 /// A name → [`SignalId`] map plus a signal reader, usable as a

@@ -1,6 +1,6 @@
 //! Waveform capture into [`psl::Trace`].
 
-use desim::{Component, ComponentId, Event, SimCtx, SignalId, Simulation};
+use desim::{Component, ComponentId, Event, SignalId, SimCtx, Simulation};
 use psl::trace::{Step, Trace};
 use psl::ClockEdge;
 
@@ -118,7 +118,9 @@ impl Component for WaveRecorder {
                 for (name, id) in &self.watch {
                     step.set(name.clone(), ctx.read(*id));
                 }
-                self.trace.push(step).expect("clock edges have strictly increasing times");
+                self.trace
+                    .push(step)
+                    .expect("clock edges have strictly increasing times");
             }
             other => unreachable!("unknown recorder event kind {other}"),
         }

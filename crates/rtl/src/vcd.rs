@@ -174,10 +174,16 @@ mod tests {
     fn initial_dump_and_changes_only() {
         let text = to_vcd_string(&demo_trace(), ["clk", "data"], &VcdOptions::default()).unwrap();
         // Initial dump at #10 with both values.
-        assert!(text.contains("#10\n$dumpvars\nb1 !\nb10101011 \"\n$end\n"), "{text}");
+        assert!(
+            text.contains("#10\n$dumpvars\nb1 !\nb10101011 \"\n$end\n"),
+            "{text}"
+        );
         // At #20 only clk changed.
         let after_20 = text.split("#20\n").nth(1).unwrap();
-        let block_20: Vec<&str> = after_20.lines().take_while(|l| !l.starts_with('#')).collect();
+        let block_20: Vec<&str> = after_20
+            .lines()
+            .take_while(|l| !l.starts_with('#'))
+            .collect();
         assert_eq!(block_20, vec!["b0 !"]);
         // At #30 both changed.
         assert!(text.contains("#30\nb1 !\nb11001101 \"\n"), "{text}");
@@ -222,7 +228,10 @@ mod tests {
 
     #[test]
     fn custom_module_and_comment() {
-        let options = VcdOptions { module: "des56".into(), comment: "run 1".into() };
+        let options = VcdOptions {
+            module: "des56".into(),
+            comment: "run 1".into(),
+        };
         let text = to_vcd_string(&demo_trace(), ["clk"], &options).unwrap();
         assert!(text.contains("$scope module des56 $end"));
         assert!(text.contains("$comment run 1 $end"));

@@ -144,7 +144,10 @@ impl Simulation {
     /// activity attribution used by the overhead analyses.
     #[must_use]
     pub fn events_for(&self, component: ComponentId) -> u64 {
-        self.events_per_component.get(component.0).copied().unwrap_or(0)
+        self.events_per_component
+            .get(component.0)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Subscribes `component` to changes of `signal`: each committed change
@@ -248,7 +251,13 @@ impl Simulation {
                     signals: &mut self.signals,
                     queue: &mut self.queue,
                 };
-                component.handle(Event { kind: entry.kind, time: t }, &mut ctx);
+                component.handle(
+                    Event {
+                        kind: entry.kind,
+                        time: t,
+                    },
+                    &mut ctx,
+                );
                 self.components[entry.target.0] = Some(component);
                 self.events_per_component[entry.target.0] += 1;
                 self.stats.events_processed += 1;
@@ -402,7 +411,11 @@ mod tests {
         sim.schedule(SimTime::from_ns(1), c, 0);
         sim.run_to_completion();
         assert_eq!(sim.component::<SelfScheduler>(c).unwrap().hops, 3);
-        assert_eq!(sim.now(), SimTime::from_ns(1), "zero delays stay at one timestamp");
+        assert_eq!(
+            sim.now(),
+            SimTime::from_ns(1),
+            "zero delays stay at one timestamp"
+        );
     }
 
     #[test]

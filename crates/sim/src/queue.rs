@@ -30,7 +30,13 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, delta: u32, target: ComponentId, kind: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, delta, seq, target, kind }));
+        self.heap.push(Reverse(Entry {
+            time,
+            delta,
+            seq,
+            target,
+            kind,
+        }));
     }
 
     /// The `(time, delta)` of the earliest pending event.

@@ -91,7 +91,9 @@ impl SignalStore {
         let dirty = std::mem::take(&mut self.dirty);
         for id in dirty {
             let slot = &mut self.slots[id.0];
-            let Some(v) = slot.pending.take() else { continue };
+            let Some(v) = slot.pending.take() else {
+                continue;
+            };
             if v != slot.value {
                 slot.value = v;
                 changed += 1;

@@ -26,6 +26,36 @@ impl SimStats {
     pub fn new() -> SimStats {
         SimStats::default()
     }
+
+    /// Accumulates `other`'s counters into `self` — used to aggregate the
+    /// per-run snapshots of a multi-run campaign into one total.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.events_processed += other.events_processed;
+        self.delta_cycles += other.delta_cycles;
+        self.signal_changes += other.signal_changes;
+        self.timestamps += other.timestamps;
+    }
+}
+
+impl std::ops::AddAssign for SimStats {
+    fn add_assign(&mut self, rhs: SimStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::ops::Add for SimStats {
+    type Output = SimStats;
+
+    fn add(mut self, rhs: SimStats) -> SimStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for SimStats {
+    fn sum<I: Iterator<Item = SimStats>>(iter: I) -> SimStats {
+        iter.fold(SimStats::new(), std::ops::Add::add)
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -44,7 +74,44 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let s = SimStats { events_processed: 3, delta_cycles: 2, signal_changes: 1, timestamps: 1 };
-        assert_eq!(s.to_string(), "3 events, 2 deltas, 1 signal changes, 1 timestamps");
+        let s = SimStats {
+            events_processed: 3,
+            delta_cycles: 2,
+            signal_changes: 1,
+            timestamps: 1,
+        };
+        assert_eq!(
+            s.to_string(),
+            "3 events, 2 deltas, 1 signal changes, 1 timestamps"
+        );
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let a = SimStats {
+            events_processed: 3,
+            delta_cycles: 2,
+            signal_changes: 1,
+            timestamps: 1,
+        };
+        let b = SimStats {
+            events_processed: 10,
+            delta_cycles: 5,
+            signal_changes: 4,
+            timestamps: 2,
+        };
+        let total: SimStats = [a, b].into_iter().sum();
+        assert_eq!(
+            total,
+            SimStats {
+                events_processed: 13,
+                delta_cycles: 7,
+                signal_changes: 5,
+                timestamps: 3
+            }
+        );
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, total);
     }
 }

@@ -1,10 +1,15 @@
-//! Property-based tests of the kernel's scheduling discipline: events are
+//! Randomized tests of the kernel's scheduling discipline: events are
 //! delivered in time order with FIFO tie-breaking, and signal updates
 //! follow the evaluate/update delta protocol regardless of schedule shape.
+//!
+//! Cases are generated from a seeded [`TinyRng`] loop (the offline
+//! substitute for `proptest`): every run explores the same case set, and a
+//! failure message carries the case seed for direct reproduction.
 
-use proptest::prelude::*;
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
+use tinyrng::TinyRng;
 
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+const CASES: u64 = 300;
 
 /// Records every delivery as `(time, kind)`.
 struct Recorder {
@@ -28,11 +33,16 @@ impl Component for KindWriter {
     }
 }
 
-proptest! {
-    /// Deliveries are sorted by time; among equal times, the original
-    /// scheduling order (FIFO) is preserved.
-    #[test]
-    fn time_order_with_fifo_ties(times in prop::collection::vec(0u64..50, 1..40)) {
+/// Deliveries are sorted by time; among equal times, the original
+/// scheduling order (FIFO) is preserved.
+#[test]
+fn time_order_with_fifo_ties() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x5EED_0001, case);
+        let times: Vec<u64> = (0..rng.range_usize(1, 40))
+            .map(|_| rng.range_u64(0, 50))
+            .collect();
+
         let mut sim = Simulation::new();
         let rec = sim.add_component(Recorder { seen: Vec::new() });
         for (seq, &t) in times.iter().enumerate() {
@@ -40,22 +50,37 @@ proptest! {
         }
         sim.run_to_completion();
         let seen = &sim.component::<Recorder>(rec).expect("recorder").seen;
-        prop_assert_eq!(seen.len(), times.len());
+        assert_eq!(seen.len(), times.len(), "case {case}");
         for w in seen.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated: {:?}", seen);
+            assert!(
+                w[0].0 <= w[1].0,
+                "case {case}: time order violated: {seen:?}"
+            );
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated: {:?}", seen);
+                assert!(
+                    w[0].1 < w[1].1,
+                    "case {case}: FIFO tie-break violated: {seen:?}"
+                );
             }
         }
-        prop_assert_eq!(sim.stats().events_processed, times.len() as u64);
+        assert_eq!(
+            sim.stats().events_processed,
+            times.len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    /// The last write in a timestamp wins, and sensitive components wake
-    /// exactly once per committed change.
-    #[test]
-    fn last_write_wins_across_random_schedules(
-        writes in prop::collection::vec((1u64..20, 0u64..5), 1..30),
-    ) {
+/// The last write in a timestamp wins, and sensitive components wake
+/// exactly once per committed change.
+#[test]
+fn last_write_wins_across_random_schedules() {
+    for case in 0..CASES {
+        let mut rng = TinyRng::fork(0x5EED_0002, case);
+        let writes: Vec<(u64, u64)> = (0..rng.range_usize(1, 30))
+            .map(|_| (rng.range_u64(1, 20), rng.range_u64(0, 5)))
+            .collect();
+
         let mut sim = Simulation::new();
         let sig = sim.add_signal("s", u64::MAX);
         let writer = sim.add_component(KindWriter { sig });
@@ -91,16 +116,18 @@ proptest! {
             idx = end;
         }
 
-        let seen: Vec<u64> = sim
+        let wakes = sim
             .component::<Recorder>(watcher)
             .expect("watcher")
             .seen
-            .iter()
-            .map(|&(_, _)| 0)
-            .collect();
+            .len();
         // One wake per committed change.
-        prop_assert_eq!(seen.len(), committed.len());
+        assert_eq!(wakes, committed.len(), "case {case}: writes {writes:?}");
         // Final value matches the reference.
-        prop_assert_eq!(sim.signal(sig), last_value);
+        assert_eq!(
+            sim.signal(sig),
+            last_value,
+            "case {case}: writes {writes:?}"
+        );
     }
 }

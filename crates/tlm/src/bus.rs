@@ -119,7 +119,10 @@ mod tests {
         let mut sim = Simulation::new();
         let bus = TransactionBus::new();
         let publisher = sim.add_component(Publisher { bus: bus.clone() });
-        let observer = sim.add_component(Observer { bus: bus.clone(), seen: Vec::new() });
+        let observer = sim.add_component(Observer {
+            bus: bus.clone(),
+            seen: Vec::new(),
+        });
         bus.subscribe(observer, 7);
         sim.schedule(SimTime::from_ns(30), publisher, 0);
         sim.run_to_completion();
@@ -134,8 +137,14 @@ mod tests {
         let mut sim = Simulation::new();
         let bus = TransactionBus::new();
         let publisher = sim.add_component(Publisher { bus: bus.clone() });
-        let o1 = sim.add_component(Observer { bus: bus.clone(), seen: Vec::new() });
-        let o2 = sim.add_component(Observer { bus: bus.clone(), seen: Vec::new() });
+        let o1 = sim.add_component(Observer {
+            bus: bus.clone(),
+            seen: Vec::new(),
+        });
+        let o2 = sim.add_component(Observer {
+            bus: bus.clone(),
+            seen: Vec::new(),
+        });
         bus.subscribe(o1, 1);
         bus.subscribe(o2, 2);
         sim.schedule(SimTime::from_ns(10), publisher, 0);

@@ -1,6 +1,6 @@
 //! Transaction-driven trace capture into [`psl::Trace`].
 
-use desim::{Component, ComponentId, Event, SimCtx, SignalId, Simulation};
+use desim::{Component, ComponentId, Event, SignalId, SimCtx, Simulation};
 use psl::trace::{Step, Trace};
 
 use crate::bus::TransactionBus;
@@ -84,7 +84,9 @@ impl Component for TxTraceRecorder {
             steps.push(step);
             self.trace = Trace::from_steps(steps).expect("times unchanged");
         } else {
-            self.trace.push(step).expect("transaction times are monotone");
+            self.trace
+                .push(step)
+                .expect("transaction times are monotone");
             self.last_time = Some(t);
         }
     }
@@ -108,7 +110,8 @@ mod tests {
         fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
             self.value += 10;
             ctx.write(self.mirror, self.value);
-            self.bus.publish(ctx, Transaction::write(0, self.value, ev.time));
+            self.bus
+                .publish(ctx, Transaction::write(0, self.value, ev.time));
         }
     }
 
@@ -117,7 +120,11 @@ mod tests {
         let mut sim = Simulation::new();
         let bus = TransactionBus::new();
         let mirror = sim.add_signal("out", 0);
-        let model = sim.add_component(Model { bus: bus.clone(), mirror, value: 0 });
+        let model = sim.add_component(Model {
+            bus: bus.clone(),
+            mirror,
+            value: 0,
+        });
         let rec = TxTraceRecorder::install(&mut sim, &bus, ["out"]);
         sim.schedule(SimTime::from_ns(10), model, 0);
         sim.schedule(SimTime::from_ns(170), model, 0);
@@ -135,7 +142,11 @@ mod tests {
         let mut sim = Simulation::new();
         let bus = TransactionBus::new();
         let mirror = sim.add_signal("out", 0);
-        let model = sim.add_component(Model { bus: bus.clone(), mirror, value: 0 });
+        let model = sim.add_component(Model {
+            bus: bus.clone(),
+            mirror,
+            value: 0,
+        });
         let rec = TxTraceRecorder::install(&mut sim, &bus, ["out"]);
         sim.schedule(SimTime::from_ns(10), model, 0);
         sim.schedule(SimTime::from_ns(10), model, 0);

@@ -43,19 +43,33 @@ impl Transaction {
     /// A write transaction completing at `end_time`.
     #[must_use]
     pub fn write(addr: u64, data: u64, end_time: SimTime) -> Transaction {
-        Transaction { kind: TxKind::Write, addr, data, end_time }
+        Transaction {
+            kind: TxKind::Write,
+            addr,
+            data,
+            end_time,
+        }
     }
 
     /// A read transaction completing at `end_time`.
     #[must_use]
     pub fn read(addr: u64, data: u64, end_time: SimTime) -> Transaction {
-        Transaction { kind: TxKind::Read, addr, data, end_time }
+        Transaction {
+            kind: TxKind::Read,
+            addr,
+            data,
+            end_time,
+        }
     }
 }
 
 impl fmt::Display for Transaction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} @{} addr={:#x} data={:#x}", self.kind, self.end_time, self.addr, self.data)
+        write!(
+            f,
+            "{} @{} addr={:#x} data={:#x}",
+            self.kind, self.end_time, self.addr, self.data
+        )
     }
 }
 
@@ -113,6 +127,9 @@ mod tests {
     fn style_labels() {
         assert_eq!(CodingStyle::CycleAccurate.label(), "TLM-CA");
         assert_eq!(CodingStyle::ApproximatelyTimedLoose.to_string(), "TLM-AT");
-        assert_eq!(CodingStyle::ApproximatelyTimedStrict.label(), "TLM-AT(strict)");
+        assert_eq!(
+            CodingStyle::ApproximatelyTimedStrict.label(),
+            "TLM-AT(strict)"
+        );
     }
 }

@@ -6,8 +6,7 @@
 //! cargo run --example colorconv_pipeline
 //! ```
 
-use abv_checker::{collect_clock_reports, collect_tx_reports, install_clock_checkers,
-    install_tx_checkers};
+use abv_checker::{Binding, Checker};
 use abv_core::{abstract_property, AbstractionConfig};
 use designs::colorconv::{self, ConvMutation, ConvWorkload};
 use designs::{PropertyClass, CLOCK_PERIOD_NS};
@@ -22,10 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rtl = colorconv::build_rtl(&workload, ConvMutation::None);
     let named: Vec<(String, ClockedProperty)> =
         suite.iter().map(designs::SuiteEntry::named).collect();
-    let hosts = install_clock_checkers(&mut rtl.sim, rtl.clk.signal, &named)
+    let checkers = Checker::attach_all(&mut rtl.sim, &named, Binding::clock(rtl.clk.signal))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     rtl.run();
-    let report = collect_clock_reports(&mut rtl.sim, &hosts, rtl.end_ns);
+    let report = Checker::collect(&mut rtl.sim, &checkers, rtl.end_ns);
     print!("{report}");
     assert!(report.all_pass());
 
@@ -35,30 +34,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut at_props: Vec<(String, ClockedProperty)> = Vec::new();
     for entry in &suite {
         let a = abstract_property(&entry.rtl, &cfg)?;
-        println!("{:>3}: {:<28} {}", entry.name, format!("[{:?}]", entry.class),
-            a.result().map_or("(deleted)".to_owned(), ToString::to_string));
+        println!(
+            "{:>3}: {:<28} {}",
+            entry.name,
+            format!("[{:?}]", entry.class),
+            a.result()
+                .map_or("(deleted)".to_owned(), ToString::to_string)
+        );
         if let (Some(q), PropertyClass::AtCompatible) = (a.result(), entry.class) {
             at_props.push((entry.name.to_owned(), q.clone()));
         }
     }
 
-    println!("\n== TLM-AT verification ({} AT-compatible properties) ==", at_props.len());
-    let mut tlm = colorconv::build_tlm_at(&workload, ConvMutation::None,
-        CodingStyle::ApproximatelyTimedLoose);
-    let hosts = install_tx_checkers(&mut tlm.sim, &tlm.bus, &at_props)
+    println!(
+        "\n== TLM-AT verification ({} AT-compatible properties) ==",
+        at_props.len()
+    );
+    let mut tlm = colorconv::build_tlm_at(
+        &workload,
+        ConvMutation::None,
+        CodingStyle::ApproximatelyTimedLoose,
+    );
+    let checkers = Checker::attach_all(&mut tlm.sim, &at_props, Binding::bus(&tlm.bus))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     tlm.run();
-    let report = collect_tx_reports(&mut tlm.sim, &hosts, tlm.end_ns);
+    let report = Checker::collect(&mut tlm.sim, &checkers, tlm.end_ns);
     print!("{report}");
     assert!(report.all_pass());
 
     println!("\n== TLM-AT with corrupted luma (injected bug) ==");
-    let mut buggy = colorconv::build_tlm_at(&workload, ConvMutation::CorruptLuma,
-        CodingStyle::ApproximatelyTimedLoose);
-    let hosts = install_tx_checkers(&mut buggy.sim, &buggy.bus, &at_props)
+    let mut buggy = colorconv::build_tlm_at(
+        &workload,
+        ConvMutation::CorruptLuma,
+        CodingStyle::ApproximatelyTimedLoose,
+    );
+    let checkers = Checker::attach_all(&mut buggy.sim, &at_props, Binding::bus(&buggy.bus))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     buggy.run();
-    let report = collect_tx_reports(&mut buggy.sim, &hosts, buggy.end_ns);
+    let report = Checker::collect(&mut buggy.sim, &checkers, buggy.end_ns);
     let failing: Vec<&str> = report
         .properties
         .iter()

@@ -11,10 +11,9 @@
 //! cargo run --example custom_ip
 //! ```
 
-use abv_checker::{collect_clock_reports, collect_tx_reports, install_clock_checkers,
-    install_tx_checkers};
+use abv_checker::{Binding, Checker};
 use abv_core::{abstract_property, AbstractionConfig};
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use psl::ClockedProperty;
 use rtlkit::{Clock, EdgeDetector};
 use tlmkit::{Transaction, TransactionBus};
@@ -99,7 +98,8 @@ impl Component for AccumulatorTlm {
             ctx.write(self.load, 1);
             ctx.write(self.value, self.pending);
             ctx.write(self.ack, 0);
-            self.bus.publish(ctx, Transaction::write(0, self.pending, ev.time));
+            self.bus
+                .publish(ctx, Transaction::write(0, self.pending, ev.time));
             ctx.schedule_self(20, 1); // read 2 cycles (20 ns) later
         } else {
             // Read: fetch the updated sum.
@@ -107,7 +107,8 @@ impl Component for AccumulatorTlm {
             ctx.write(self.load, 0);
             ctx.write(self.sum, self.total);
             ctx.write(self.ack, 1);
-            self.bus.publish(ctx, Transaction::read(0, self.total, ev.time));
+            self.bus
+                .publish(ctx, Transaction::read(0, self.total, ev.time));
         }
     }
 }
@@ -115,8 +116,14 @@ impl Component for AccumulatorTlm {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The RTL properties: completion in 2 cycles, ack never sticks.
     let properties: Vec<(String, ClockedProperty)> = vec![
-        ("a1".to_owned(), "always (!load || next[2] ack) @clk_pos".parse()?),
-        ("a2".to_owned(), "always (!load || next[2] (sum != 0)) @clk_pos".parse()?),
+        (
+            "a1".to_owned(),
+            "always (!load || next[2] ack) @clk_pos".parse()?,
+        ),
+        (
+            "a2".to_owned(),
+            "always (!load || next[2] (sum != 0)) @clk_pos".parse()?,
+        ),
     ];
 
     // 2. RTL verification.
@@ -147,10 +154,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cycle: 0,
     });
     sim.subscribe(clk.signal, stim, 0);
-    let hosts = install_clock_checkers(&mut sim, clk.signal, &properties)
+    let checkers = Checker::attach_all(&mut sim, &properties, Binding::clock(clk.signal))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     sim.run_until(SimTime::from_ns(400));
-    let report = collect_clock_reports(&mut sim, &hosts, 400);
+    let report = Checker::collect(&mut sim, &checkers, 400);
     println!("== accumulator @ RTL ==");
     print!("{report}");
     assert!(report.all_pass());
@@ -189,11 +196,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Loads at the same instants the RTL model samples them.
         sim.schedule(SimTime::from_ns(20 + 50 * i as u64), model, v << 1);
     }
-    let hosts = install_tx_checkers(&mut sim, &bus, &tlm_properties)
+    let checkers = Checker::attach_all(&mut sim, &tlm_properties, Binding::bus(&bus))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     sim.run_to_completion();
     let end = sim.now().as_ns();
-    let report = collect_tx_reports(&mut sim, &hosts, end);
+    let report = Checker::collect(&mut sim, &checkers, end);
     println!("\n== accumulator @ TLM-AT ==");
     print!("{report}");
     assert!(report.all_pass());

@@ -7,8 +7,7 @@
 //! cargo run --example des56_verification
 //! ```
 
-use abv_checker::{collect_clock_reports, collect_tx_reports, install_clock_checkers,
-    install_tx_checkers};
+use abv_checker::{Binding, Checker};
 use abv_core::{abstract_suite, AbstractionConfig};
 use designs::des56::{self, DesMutation, DesWorkload};
 use designs::CLOCK_PERIOD_NS;
@@ -24,10 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rtl = des56::build_rtl(&workload, DesMutation::None);
     let named: Vec<(String, ClockedProperty)> =
         suite.iter().map(designs::SuiteEntry::named).collect();
-    let hosts = install_clock_checkers(&mut rtl.sim, rtl.clk.signal, &named)
+    let checkers = Checker::attach_all(&mut rtl.sim, &named, Binding::clock(rtl.clk.signal))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     rtl.run();
-    let report = collect_clock_reports(&mut rtl.sim, &hosts, rtl.end_ns);
+    let report = Checker::collect(&mut rtl.sim, &checkers, rtl.end_ns);
     print!("{report}");
 
     // 2. Abstract the suite for the TLM-AT model.
@@ -51,23 +50,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Dynamic ABV of the correct TLM-AT model.
     println!("\n== TLM-AT verification (abstracted properties) ==");
-    let mut tlm = des56::build_tlm_at(&workload, DesMutation::None,
-        CodingStyle::ApproximatelyTimedLoose);
-    let hosts = install_tx_checkers(&mut tlm.sim, &tlm.bus, &tlm_props)
+    let mut tlm = des56::build_tlm_at(
+        &workload,
+        DesMutation::None,
+        CodingStyle::ApproximatelyTimedLoose,
+    );
+    let checkers = Checker::attach_all(&mut tlm.sim, &tlm_props, Binding::bus(&tlm.bus))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     tlm.run();
-    let report = collect_tx_reports(&mut tlm.sim, &hosts, tlm.end_ns);
+    let report = Checker::collect(&mut tlm.sim, &checkers, tlm.end_ns);
     print!("{report}");
     assert!(report.all_pass(), "the correct TLM model must pass");
 
     // 4. Inject a bug: the TLM model completes one cycle late.
     println!("\n== TLM-AT verification of a buggy abstraction (latency 18) ==");
-    let mut buggy = des56::build_tlm_at(&workload, DesMutation::LatencyLong,
-        CodingStyle::ApproximatelyTimedLoose);
-    let hosts = install_tx_checkers(&mut buggy.sim, &buggy.bus, &tlm_props)
+    let mut buggy = des56::build_tlm_at(
+        &workload,
+        DesMutation::LatencyLong,
+        CodingStyle::ApproximatelyTimedLoose,
+    );
+    let checkers = Checker::attach_all(&mut buggy.sim, &tlm_props, Binding::bus(&buggy.bus))
         .map_err(|(i, e)| format!("property {i}: {e}"))?;
     buggy.run();
-    let report = collect_tx_reports(&mut buggy.sim, &hosts, buggy.end_ns);
+    let report = Checker::collect(&mut buggy.sim, &checkers, buggy.end_ns);
     print!("{report}");
     let failing: Vec<&str> = report
         .properties

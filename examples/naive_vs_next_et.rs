@@ -6,7 +6,7 @@
 //! cargo run --example naive_vs_next_et
 //! ```
 
-use abv_checker::{collect_tx_reports, install_tx_checkers};
+use abv_checker::{Binding, Checker};
 use abv_core::{abstract_property, naive::naive_scale, AbstractionConfig};
 use designs::des56::{self, DesMutation, DesWorkload};
 use designs::CLOCK_PERIOD_NS;
@@ -16,19 +16,22 @@ use tlmkit::CodingStyle;
 fn check(name: &str, property: &ClockedProperty, style: CodingStyle) -> String {
     let workload = DesWorkload::mixed(10, 77);
     let mut built = des56::build_tlm_at(&workload, DesMutation::None, style);
-    let hosts = install_tx_checkers(
+    let checkers = Checker::attach_all(
         &mut built.sim,
-        &built.bus,
         &[(name.to_owned(), property.clone())],
+        Binding::bus(&built.bus),
     )
     .expect("installs");
     built.run();
-    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
     let p = &report.properties[0];
     if p.failure_count == 0 {
         format!("PASS ({} completions)", p.completions)
     } else {
-        format!("FAIL ({} failures, first: {})", p.failure_count, p.failures[0])
+        format!(
+            "FAIL ({} failures, first: {})",
+            p.failure_count, p.failures[0]
+        )
     }
 }
 
@@ -47,9 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q4 = abstract_property(p4, &cfg)?.into_property().expect("kept");
     println!("next_et         : {q4}\n");
 
-    for style in [CodingStyle::ApproximatelyTimedLoose, CodingStyle::ApproximatelyTimedStrict] {
-        println!("{style} (transactions per block: {}):",
-            if style == CodingStyle::ApproximatelyTimedLoose { 2 } else { 4 });
+    for style in [
+        CodingStyle::ApproximatelyTimedLoose,
+        CodingStyle::ApproximatelyTimedStrict,
+    ] {
+        println!(
+            "{style} (transactions per block: {}):",
+            if style == CodingStyle::ApproximatelyTimedLoose {
+                2
+            } else {
+                4
+            }
+        );
         println!("  naive   : {}", check("naive", &naive, style));
         println!("  next_et : {}", check("q4", &q4, style));
         println!();

@@ -10,8 +10,14 @@ use psl::ClockedProperty;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The RTL DES56 properties of Fig. 3 (clock period: 10 ns).
     let rtl_properties = [
-        ("p1", "always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos"),
-        ("p2", "always (!ds || (next ((!ds) until next rdy))) @clk_pos"),
+        (
+            "p1",
+            "always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos",
+        ),
+        (
+            "p2",
+            "always (!ds || (next ((!ds) until next rdy))) @clk_pos",
+        ),
         (
             "p3",
             "always (!ds || (next[15](rdy_next_next_cycle) && next[16](rdy_next_cycle) \
@@ -35,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("  relationship: {}", abstraction.consequence());
         if !abstraction.removed_atoms().is_empty() {
-            let removed: Vec<String> =
-                abstraction.removed_atoms().iter().map(ToString::to_string).collect();
+            let removed: Vec<String> = abstraction
+                .removed_atoms()
+                .iter()
+                .map(ToString::to_string)
+                .collect();
             println!("  removed subformulas over: {}", removed.join(", "));
         }
         println!();

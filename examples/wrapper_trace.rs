@@ -8,8 +8,8 @@
 //! cargo run --example wrapper_trace
 //! ```
 
-use abv_checker::TxCheckerHost;
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use abv_checker::{Binding, Checker};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use psl::ClockedProperty;
 use tlmkit::{Transaction, TransactionBus};
 
@@ -73,18 +73,31 @@ fn main() {
     let ds = sim.add_signal("ds", 0);
     let rdy = sim.add_signal("rdy", 0);
     let first = script[0].0;
-    let model = sim.add_component(ScriptedModel { bus: bus.clone(), ds, rdy, script, next: 0 });
+    let model = sim.add_component(ScriptedModel {
+        bus: bus.clone(),
+        ds,
+        rdy,
+        script,
+        next: 0,
+    });
     sim.schedule(SimTime::from_ns(first), model, 0);
 
-    let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b".parse().expect("parses");
-    let host = TxCheckerHost::install(&mut sim, &bus, "q3", &q3).expect("installs");
+    let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b"
+        .parse()
+        .expect("parses");
+    let checker = Checker::attach(&mut sim, "q3", &q3, Binding::bus(&bus)).expect("attaches");
 
-    let narrator = sim.add_component(Narrator { bus: bus.clone(), host, ds, rdy });
+    let narrator = sim.add_component(Narrator {
+        bus: bus.clone(),
+        host: checker.component_id(),
+        ds,
+        rdy,
+    });
     bus.subscribe(narrator, 9);
 
     sim.run_to_completion();
     let end = sim.now().as_ns();
-    let report = sim.component_mut::<TxCheckerHost>(host).expect("host").finalize(end);
+    let report = checker.finalize(&mut sim, end);
 
     println!("\n{report}");
     println!("\nfirst failure: {}", report.failures[0]);

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full local gate: formatting, lints (warnings are errors), build, tests.
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

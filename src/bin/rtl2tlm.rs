@@ -5,6 +5,9 @@
 //! rtl2tlm abstract <file> [--clock-period NS] [--abstract-signal NAME]...
 //! rtl2tlm demo [--design des56|colorconv] [--level rtl|tlm-ca|tlm-at]
 //!              [--requests N] [--seed N] [--vcd PATH]
+//! rtl2tlm campaign [--design D] [--level L] [--runs N] [--workers N]
+//!                  [--size N] [--seed N] [--checkers with|without|both|N]
+//!                  [--deterministic]
 //! ```
 //!
 //! Property files contain one `name: property` per line; `#` starts a
@@ -12,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use rtl2tlm_abv::cli::{self, CliError, DemoParams};
+use rtl2tlm_abv::cli::{self, CampaignParams, CliError, DemoParams};
 
 const USAGE: &str = "\
 rtl2tlm — RTL-to-TLM property abstraction (DATE 2015 reproduction)
@@ -21,12 +24,20 @@ USAGE:
     rtl2tlm abstract <file> [--clock-period NS] [--abstract-signal NAME]...
     rtl2tlm demo [--design des56|colorconv] [--level rtl|tlm-ca|tlm-at]
                  [--requests N] [--seed N] [--vcd PATH]
+    rtl2tlm campaign [--design des56|colorconv|fir]
+                     [--level rtl|tlm-ca|tlm-at|tlm-at-bulk]
+                     [--runs N] [--workers N] [--size N] [--seed N]
+                     [--checkers with|without|both|N] [--deterministic]
 
 COMMANDS:
     abstract   Abstract the RTL properties in <file> (one `name: property`
                per line, `#` comments) into TLM properties.
     demo       Build one of the evaluation IPs, run its checker suite and
                report the verdicts; --vcd dumps an RTL waveform.
+    campaign   Run a seeded multi-run verification campaign sharded across
+               worker threads and print the merged report; the part above
+               `timing:` is identical for any --workers value
+               (--deterministic prints only that part).
 ";
 
 fn main() -> ExitCode {
@@ -47,6 +58,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("abstract") => run_abstract(&args[1..]),
         Some("demo") => run_demo(&args[1..]),
+        Some("campaign") => run_campaign(&args[1..]),
         Some("--help" | "-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -102,6 +114,32 @@ fn run_demo(args: &[String]) -> Result<String, CliError> {
         }
     }
     cli::run_demo(&params)
+}
+
+fn run_campaign(args: &[String]) -> Result<String, CliError> {
+    let mut params = CampaignParams::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--design" => params.design = next_value(&mut it, arg)?,
+            "--level" => params.level = next_value(&mut it, arg)?,
+            "--runs" => params.runs = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--workers" => params.workers = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--size" => params.size = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--seed" => params.seed = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--checkers" => params.checkers = next_value(&mut it, arg)?,
+            "--deterministic" => params.deterministic = true,
+            "--help" | "-h" => return Ok(USAGE.to_owned()),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    cli::run_campaign(&params)
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} expects a number")))
 }
 
 fn next_value<'a>(

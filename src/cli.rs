@@ -6,20 +6,21 @@
 //!   abstractions (the batch version of the paper's Fig. 3);
 //! - `demo`: build one of the two evaluation IPs at a chosen abstraction
 //!   level, run it under its checker suite and report the verdicts,
-//!   optionally dumping a VCD waveform.
+//!   optionally dumping a VCD waveform;
+//! - `campaign`: expand a design/level/checker grid into a seeded
+//!   multi-run verification campaign, shard it across worker threads and
+//!   print the merged report.
 //!
 //! The parsing/reporting logic lives here (unit-tested); the binary in
 //! `src/bin/rtl2tlm.rs` is a thin wrapper.
 
 use std::fmt::Write as _;
 
-use abv_checker::{
-    collect_clock_reports, collect_tx_reports, install_clock_checkers, install_tx_checkers,
-    CheckReport,
-};
+use abv_campaign::{CampaignPlan, CheckerMode};
+use abv_checker::{Binding, CheckReport, Checker};
 use abv_core::{abstract_property, AbstractionConfig};
 use designs::{colorconv, des56, SuiteEntry, CLOCK_PERIOD_NS};
-use psl::{ClockedProperty, ClockEdge};
+use psl::{ClockEdge, ClockedProperty};
 use rtlkit::WaveRecorder;
 use tlmkit::CodingStyle;
 
@@ -86,10 +87,17 @@ pub fn parse_property_file(text: &str) -> Result<Vec<NamedProperty>, CliError> {
                 message: "expected `name: property`".to_owned(),
             });
         };
-        let property: ClockedProperty = rest.trim().parse().map_err(|e: psl::ParseError| {
-            CliError::BadLine { line, message: e.to_string() }
-        })?;
-        out.push(NamedProperty { name: name.trim().to_owned(), property });
+        let property: ClockedProperty =
+            rest.trim()
+                .parse()
+                .map_err(|e: psl::ParseError| CliError::BadLine {
+                    line,
+                    message: e.to_string(),
+                })?;
+        out.push(NamedProperty {
+            name: name.trim().to_owned(),
+            property,
+        });
     }
     Ok(out)
 }
@@ -123,8 +131,7 @@ pub fn run_abstract(
         }
         let _ = writeln!(out, "        [{}]", a.consequence());
         if !a.removed_atoms().is_empty() {
-            let removed: Vec<String> =
-                a.removed_atoms().iter().map(ToString::to_string).collect();
+            let removed: Vec<String> = a.removed_atoms().iter().map(ToString::to_string).collect();
             let _ = writeln!(out, "        removed: {}", removed.join(", "));
         }
     }
@@ -175,13 +182,13 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
         }
     };
     if params.vcd.is_some() && params.level != "rtl" {
-        return Err(CliError::Usage("--vcd is only available at the rtl level".to_owned()));
+        return Err(CliError::Usage(
+            "--vcd is only available at the rtl level".to_owned(),
+        ));
     }
 
-    let rtl_props: Vec<(String, ClockedProperty)> =
-        suite.iter().map(SuiteEntry::named).collect();
-    let cfg = AbstractionConfig::new(CLOCK_PERIOD_NS)
-        .abstract_signals(abstracted.iter().copied());
+    let rtl_props: Vec<(String, ClockedProperty)> = suite.iter().map(SuiteEntry::named).collect();
+    let cfg = AbstractionConfig::new(CLOCK_PERIOD_NS).abstract_signals(abstracted.iter().copied());
     // At TLM-AT, install only the AT-compatible abstractions: CA-only
     // properties reference instants the loose AT model never produces and
     // review-flagged ones need manual refinement (DESIGN.md §5b).
@@ -208,14 +215,18 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
                     des56::RTL_SIGNALS,
                 )
             });
-            let hosts = install_clock_checkers(&mut built.sim, built.clk.signal, &rtl_props)
-                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            let checkers =
+                Checker::attach_all(&mut built.sim, &rtl_props, Binding::clock(built.clk.signal))
+                    .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
             built.run();
             if let (Some(path), Some(rec)) = (&params.vcd, rec) {
                 dump_vcd(&built.sim, rec, path, "des56", des56::RTL_SIGNALS)?;
             }
             let end = built.end_ns;
-            (collect_clock_reports(&mut built.sim, &hosts, end), "DES56 @ RTL")
+            (
+                Checker::collect(&mut built.sim, &checkers, end),
+                "DES56 @ RTL",
+            )
         }
         ("colorconv", "rtl") => {
             let w = colorconv::ConvWorkload::mixed(params.requests, params.seed);
@@ -228,14 +239,18 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
                     colorconv::RTL_SIGNALS,
                 )
             });
-            let hosts = install_clock_checkers(&mut built.sim, built.clk.signal, &rtl_props)
-                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            let checkers =
+                Checker::attach_all(&mut built.sim, &rtl_props, Binding::clock(built.clk.signal))
+                    .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
             built.run();
             if let (Some(path), Some(rec)) = (&params.vcd, rec) {
                 dump_vcd(&built.sim, rec, path, "colorconv", colorconv::RTL_SIGNALS)?;
             }
             let end = built.end_ns;
-            (collect_clock_reports(&mut built.sim, &hosts, end), "ColorConv @ RTL")
+            (
+                Checker::collect(&mut built.sim, &checkers, end),
+                "ColorConv @ RTL",
+            )
         }
         ("des56", "tlm-ca") => {
             let w = des56::DesWorkload::mixed(params.requests, params.seed);
@@ -243,14 +258,20 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
             let props: Vec<(String, ClockedProperty)> = suite
                 .iter()
                 .map(|e| {
-                    (e.name.to_owned(), abv_core::reuse_at_cycle_accurate(&e.rtl).expect("clock"))
+                    (
+                        e.name.to_owned(),
+                        abv_core::reuse_at_cycle_accurate(&e.rtl).expect("clock"),
+                    )
                 })
                 .collect();
-            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+            let checkers = Checker::attach_all(&mut built.sim, &props, Binding::bus(&built.bus))
                 .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
             built.run();
             let end = built.end_ns;
-            (collect_tx_reports(&mut built.sim, &hosts, end), "DES56 @ TLM-CA (reused checkers)")
+            (
+                Checker::collect(&mut built.sim, &checkers, end),
+                "DES56 @ TLM-CA (reused checkers)",
+            )
         }
         ("colorconv", "tlm-ca") => {
             let w = colorconv::ConvWorkload::mixed(params.requests, params.seed);
@@ -258,15 +279,18 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
             let props: Vec<(String, ClockedProperty)> = suite
                 .iter()
                 .map(|e| {
-                    (e.name.to_owned(), abv_core::reuse_at_cycle_accurate(&e.rtl).expect("clock"))
+                    (
+                        e.name.to_owned(),
+                        abv_core::reuse_at_cycle_accurate(&e.rtl).expect("clock"),
+                    )
                 })
                 .collect();
-            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &props)
+            let checkers = Checker::attach_all(&mut built.sim, &props, Binding::bus(&built.bus))
                 .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
             built.run();
             let end = built.end_ns;
             (
-                collect_tx_reports(&mut built.sim, &hosts, end),
+                Checker::collect(&mut built.sim, &checkers, end),
                 "ColorConv @ TLM-CA (reused checkers)",
             )
         }
@@ -277,12 +301,13 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
                 des56::DesMutation::None,
                 CodingStyle::ApproximatelyTimedLoose,
             );
-            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &tlm_props)
-                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            let checkers =
+                Checker::attach_all(&mut built.sim, &tlm_props, Binding::bus(&built.bus))
+                    .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
             built.run();
             let end = built.end_ns;
             (
-                collect_tx_reports(&mut built.sim, &hosts, end),
+                Checker::collect(&mut built.sim, &checkers, end),
                 "DES56 @ TLM-AT (abstracted checkers)",
             )
         }
@@ -293,12 +318,13 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
                 colorconv::ConvMutation::None,
                 CodingStyle::ApproximatelyTimedLoose,
             );
-            let hosts = install_tx_checkers(&mut built.sim, &built.bus, &tlm_props)
-                .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+            let checkers =
+                Checker::attach_all(&mut built.sim, &tlm_props, Binding::bus(&built.bus))
+                    .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
             built.run();
             let end = built.end_ns;
             (
-                collect_tx_reports(&mut built.sim, &hosts, end),
+                Checker::collect(&mut built.sim, &checkers, end),
                 "ColorConv @ TLM-AT (abstracted checkers)",
             )
         }
@@ -310,6 +336,87 @@ pub fn run_demo(params: &DemoParams) -> Result<String, CliError> {
     };
 
     Ok(render_report(header, &report))
+}
+
+/// Parameters of the `campaign` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignParams {
+    /// `des56`, `colorconv` or `fir`.
+    pub design: String,
+    /// `rtl`, `tlm-ca`, `tlm-at` or `tlm-at-bulk`.
+    pub level: String,
+    /// Repetitions per cell.
+    pub runs: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Workload size per run.
+    pub size: usize,
+    /// Base seed the per-run seeds are forked from.
+    pub seed: u64,
+    /// `with`, `without`, `both` or a checker count.
+    pub checkers: String,
+    /// Print only the scheduling-independent summary (for diffing the
+    /// merged result across `--workers` values).
+    pub deterministic: bool,
+}
+
+impl Default for CampaignParams {
+    fn default() -> CampaignParams {
+        CampaignParams {
+            design: "colorconv".to_owned(),
+            level: "tlm-at".to_owned(),
+            runs: 20,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            size: 100,
+            seed: 2015,
+            checkers: "with".to_owned(),
+            deterministic: false,
+        }
+    }
+}
+
+/// Runs the `campaign` command: builds the plan, shards it across the
+/// requested workers and renders the merged report.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown designs/levels/checker modes
+/// and for plans the engine rejects (e.g. zero runs).
+pub fn run_campaign(params: &CampaignParams) -> Result<String, CliError> {
+    let design = designs::DesignKind::parse(&params.design).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown design `{}` (expected des56, colorconv or fir)",
+            params.design
+        ))
+    })?;
+    let level = designs::AbsLevel::parse(&params.level).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown level `{}` (expected rtl, tlm-ca, tlm-at or tlm-at-bulk)",
+            params.level
+        ))
+    })?;
+    let modes: Vec<CheckerMode> = match params.checkers.as_str() {
+        "both" => vec![CheckerMode::All, CheckerMode::None],
+        other => vec![CheckerMode::parse(other).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown checker mode `{other}` (expected with, without, both or a count)"
+            ))
+        })?],
+    };
+    let mut plan = CampaignPlan::new(format!("{} @ {}", design.label(), level.label()))
+        .runs(params.runs)
+        .size(params.size)
+        .seed(params.seed);
+    for mode in modes {
+        plan = plan.cell(design, level, mode);
+    }
+    let report = abv_campaign::run_campaign(&plan, params.workers)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    if params.deterministic {
+        Ok(report.deterministic_summary())
+    } else {
+        Ok(report.to_string())
+    }
 }
 
 fn dump_vcd<S: AsRef<str>>(
@@ -326,14 +433,17 @@ fn dump_vcd<S: AsRef<str>>(
     };
     let text = rtlkit::vcd::to_vcd_string(&trace, signals, &options)
         .map_err(|e| CliError::Usage(format!("vcd export failed: {e}")))?;
-    std::fs::write(path, text)
-        .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))
+    std::fs::write(path, text).map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))
 }
 
 fn render_report(header: &str, report: &CheckReport) -> String {
     let mut out = format!("== {header} ==\n");
     let _ = write!(out, "{report}");
-    let verdict = if report.all_pass() { "ALL PASS" } else { "FAILURES PRESENT" };
+    let verdict = if report.all_pass() {
+        "ALL PASS"
+    } else {
+        "FAILURES PRESENT"
+    };
     let _ = writeln!(out, "=> {verdict}");
     out
 }
@@ -341,6 +451,72 @@ fn render_report(header: &str, report: &CheckReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let params = CampaignParams {
+            design: "colorconv".to_owned(),
+            level: "tlm-ca".to_owned(),
+            runs: 3,
+            workers: 2,
+            size: 5,
+            seed: 7,
+            checkers: "with".to_owned(),
+            deterministic: false,
+        };
+        let out = run_campaign(&params).unwrap();
+        assert!(out.contains("campaign ColorConv @ TLM-CA"), "{out}");
+        assert!(out.contains("verdict: PASS"), "{out}");
+        assert!(out.contains("timing:"), "{out}");
+    }
+
+    #[test]
+    fn campaign_deterministic_summary_is_worker_independent() {
+        let mut params = CampaignParams {
+            design: "des56".to_owned(),
+            level: "tlm-at".to_owned(),
+            runs: 4,
+            workers: 1,
+            size: 5,
+            seed: 11,
+            checkers: "both".to_owned(),
+            deterministic: true,
+        };
+        let solo = run_campaign(&params).unwrap();
+        params.workers = 4;
+        let pooled = run_campaign(&params).unwrap();
+        assert_eq!(solo, pooled);
+        assert!(!solo.contains("timing:"), "{solo}");
+    }
+
+    #[test]
+    fn campaign_rejects_unknown_inputs() {
+        let bad = [
+            CampaignParams {
+                design: "z80".to_owned(),
+                ..CampaignParams::default()
+            },
+            CampaignParams {
+                level: "gate".to_owned(),
+                ..CampaignParams::default()
+            },
+            CampaignParams {
+                checkers: "maybe".to_owned(),
+                ..CampaignParams::default()
+            },
+            CampaignParams {
+                design: "des56".to_owned(),
+                level: "tlm-at-bulk".to_owned(),
+                ..CampaignParams::default()
+            },
+        ];
+        for params in bad {
+            assert!(
+                matches!(run_campaign(&params).unwrap_err(), CliError::Usage(_)),
+                "{params:?} should be rejected"
+            );
+        }
+    }
 
     #[test]
     fn property_file_parsing() {
@@ -356,7 +532,10 @@ mod tests {
         let err = parse_property_file("ok: rdy @clk_pos\nbroken line\n").unwrap_err();
         assert_eq!(
             err,
-            CliError::BadLine { line: 2, message: "expected `name: property`".to_owned() }
+            CliError::BadLine {
+                line: 2,
+                message: "expected `name: property`".to_owned()
+            }
         );
         let err = parse_property_file("\n\nx: next[0] rdy\n").unwrap_err();
         assert!(matches!(err, CliError::BadLine { line: 3, .. }));
@@ -372,12 +551,21 @@ mod tests {
         let out = run_abstract(
             &props,
             10,
-            &["rdy_next_cycle".to_owned(), "rdy_next_next_cycle".to_owned()],
+            &[
+                "rdy_next_cycle".to_owned(),
+                "rdy_next_next_cycle".to_owned(),
+            ],
         )
         .unwrap();
-        assert!(out.contains("p3 (TLM): always ((!ds) || (next_et[1, 170] rdy)) @T_b"), "{out}");
+        assert!(
+            out.contains("p3 (TLM): always ((!ds) || (next_et[1, 170] rdy)) @T_b"),
+            "{out}"
+        );
         assert!(out.contains("weakened"), "{out}");
-        assert!(out.contains("removed: rdy_next_next_cycle, rdy_next_cycle"), "{out}");
+        assert!(
+            out.contains("removed: rdy_next_next_cycle, rdy_next_cycle"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -389,7 +577,10 @@ mod tests {
 
     #[test]
     fn demo_rtl_des56_passes() {
-        let params = DemoParams { requests: 4, ..DemoParams::default() };
+        let params = DemoParams {
+            requests: 4,
+            ..DemoParams::default()
+        };
         let out = run_demo(&params).unwrap();
         assert!(out.contains("DES56 @ RTL"), "{out}");
         assert!(out.contains("ALL PASS"), "{out}");
@@ -412,9 +603,15 @@ mod tests {
 
     #[test]
     fn demo_rejects_unknown_inputs() {
-        let params = DemoParams { design: "nope".to_owned(), ..DemoParams::default() };
+        let params = DemoParams {
+            design: "nope".to_owned(),
+            ..DemoParams::default()
+        };
         assert!(matches!(run_demo(&params), Err(CliError::Usage(_))));
-        let params = DemoParams { level: "nope".to_owned(), ..DemoParams::default() };
+        let params = DemoParams {
+            level: "nope".to_owned(),
+            ..DemoParams::default()
+        };
         assert!(matches!(run_demo(&params), Err(CliError::Usage(_))));
         let params = DemoParams {
             level: "tlm-at".to_owned(),

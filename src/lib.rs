@@ -37,6 +37,7 @@
 
 pub mod cli;
 
+pub use abv_campaign;
 pub use abv_checker;
 pub use abv_core;
 pub use designs;

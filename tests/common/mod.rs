@@ -4,9 +4,8 @@
 //! Each integration-test binary uses its own subset of these helpers.
 #![allow(dead_code)]
 
+use abv_checker::{Binding, CheckReport, Checker};
 use abv_core::{abstract_property, reuse_at_cycle_accurate, AbstractionConfig};
-use abv_checker::{collect_clock_reports, collect_tx_reports, install_clock_checkers,
-    install_tx_checkers, CheckReport};
 use designs::{colorconv, des56, PropertyClass, SuiteEntry, CLOCK_PERIOD_NS};
 use psl::ClockedProperty;
 use tlmkit::CodingStyle;
@@ -14,7 +13,8 @@ use tlmkit::CodingStyle;
 /// The DES56 abstraction configuration (10 ns clock, prediction outputs
 /// removed).
 pub fn des_config() -> AbstractionConfig {
-    AbstractionConfig::new(CLOCK_PERIOD_NS).abstract_signals(des56::ABSTRACTED_SIGNALS.iter().copied())
+    AbstractionConfig::new(CLOCK_PERIOD_NS)
+        .abstract_signals(des56::ABSTRACTED_SIGNALS.iter().copied())
 }
 
 /// The ColorConv abstraction configuration.
@@ -33,7 +33,8 @@ pub fn abstract_suite_for_tlm(
         .iter()
         .filter_map(|entry| {
             let a = abstract_property(&entry.rtl, cfg).expect("suite property abstracts");
-            a.into_property().map(|q| (entry.name.to_owned(), q, entry.class))
+            a.into_property()
+                .map(|q| (entry.name.to_owned(), q, entry.class))
         })
         .collect()
 }
@@ -43,10 +44,10 @@ pub fn verify_des_rtl(workload: &des56::DesWorkload, mutation: des56::DesMutatio
     let mut built = des56::build_rtl(workload, mutation);
     let props: Vec<(String, ClockedProperty)> =
         des56::suite().iter().map(SuiteEntry::named).collect();
-    let hosts = install_clock_checkers(&mut built.sim, built.clk.signal, &props)
+    let checkers = Checker::attach_all(&mut built.sim, &props, Binding::clock(built.clk.signal))
         .expect("RTL properties install");
     built.run();
-    collect_clock_reports(&mut built.sim, &hosts, built.end_ns)
+    Checker::collect(&mut built.sim, &checkers, built.end_ns)
 }
 
 /// Runs DES56 TLM-CA with the *unabstracted* RTL properties re-clocked to
@@ -58,12 +59,17 @@ pub fn verify_des_tlm_ca_reused(
     let mut built = des56::build_tlm_ca(workload, mutation);
     let props: Vec<(String, ClockedProperty)> = des56::suite()
         .iter()
-        .map(|e| (e.name.to_owned(), reuse_at_cycle_accurate(&e.rtl).expect("clock context")))
+        .map(|e| {
+            (
+                e.name.to_owned(),
+                reuse_at_cycle_accurate(&e.rtl).expect("clock context"),
+            )
+        })
         .collect();
-    let hosts =
-        install_tx_checkers(&mut built.sim, &built.bus, &props).expect("CA properties install");
+    let checkers = Checker::attach_all(&mut built.sim, &props, Binding::bus(&built.bus))
+        .expect("CA properties install");
     built.run();
-    collect_tx_reports(&mut built.sim, &hosts, built.end_ns)
+    Checker::collect(&mut built.sim, &checkers, built.end_ns)
 }
 
 /// Runs DES56 at a TLM level with the *abstracted* properties.
@@ -81,10 +87,13 @@ pub fn verify_des_tlm_abstracted(
         abstracted.iter().map(|(n, _, c)| (n.clone(), *c)).collect();
     let props: Vec<(String, ClockedProperty)> =
         abstracted.into_iter().map(|(n, q, _)| (n, q)).collect();
-    let hosts =
-        install_tx_checkers(&mut built.sim, &built.bus, &props).expect("TLM properties install");
+    let checkers = Checker::attach_all(&mut built.sim, &props, Binding::bus(&built.bus))
+        .expect("TLM properties install");
     built.run();
-    (collect_tx_reports(&mut built.sim, &hosts, built.end_ns), classes)
+    (
+        Checker::collect(&mut built.sim, &checkers, built.end_ns),
+        classes,
+    )
 }
 
 /// Runs the full RTL verification of ColorConv.
@@ -95,10 +104,10 @@ pub fn verify_conv_rtl(
     let mut built = colorconv::build_rtl(workload, mutation);
     let props: Vec<(String, ClockedProperty)> =
         colorconv::suite().iter().map(SuiteEntry::named).collect();
-    let hosts = install_clock_checkers(&mut built.sim, built.clk.signal, &props)
+    let checkers = Checker::attach_all(&mut built.sim, &props, Binding::clock(built.clk.signal))
         .expect("RTL properties install");
     built.run();
-    collect_clock_reports(&mut built.sim, &hosts, built.end_ns)
+    Checker::collect(&mut built.sim, &checkers, built.end_ns)
 }
 
 /// Runs ColorConv at a TLM level with the *abstracted* properties.
@@ -116,10 +125,13 @@ pub fn verify_conv_tlm_abstracted(
         abstracted.iter().map(|(n, _, c)| (n.clone(), *c)).collect();
     let props: Vec<(String, ClockedProperty)> =
         abstracted.into_iter().map(|(n, q, _)| (n, q)).collect();
-    let hosts =
-        install_tx_checkers(&mut built.sim, &built.bus, &props).expect("TLM properties install");
+    let checkers = Checker::attach_all(&mut built.sim, &props, Binding::bus(&built.bus))
+        .expect("TLM properties install");
     built.run();
-    (collect_tx_reports(&mut built.sim, &hosts, built.end_ns), classes)
+    (
+        Checker::collect(&mut built.sim, &checkers, built.end_ns),
+        classes,
+    )
 }
 
 /// Asserts that every property in `report` passes; includes the failing

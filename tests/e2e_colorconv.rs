@@ -17,18 +17,24 @@ fn rtl_suite_passes_on_correct_design() {
     assert_eq!(report.properties.len(), 12);
     assert_all_pass(&report);
     assert_eq!(report.property("c1").unwrap().completions, 18);
-    assert!(report.property("c2").unwrap().completions >= 1, "black pixels fire c2");
-    assert!(report.property("c3").unwrap().completions >= 1, "white pixels fire c3");
-    assert!(report.property("c12").unwrap().completions >= 1, "green pixels fire c12");
+    assert!(
+        report.property("c2").unwrap().completions >= 1,
+        "black pixels fire c2"
+    );
+    assert!(
+        report.property("c3").unwrap().completions >= 1,
+        "white pixels fire c3"
+    );
+    assert!(
+        report.property("c12").unwrap().completions >= 1,
+        "green pixels fire c12"
+    );
 }
 
 #[test]
 fn abstracted_suite_at_tlm_ca_matches_classification() {
-    let (report, classes) = verify_conv_tlm_abstracted(
-        &workload(),
-        ConvMutation::None,
-        CodingStyle::CycleAccurate,
-    );
+    let (report, classes) =
+        verify_conv_tlm_abstracted(&workload(), ConvMutation::None, CodingStyle::CycleAccurate);
     assert_eq!(classes.len(), 12, "no ColorConv property is fully deleted");
     for (name, class) in &classes {
         let p = report.property(name).unwrap();
@@ -42,7 +48,10 @@ fn abstracted_suite_at_tlm_ca_matches_classification() {
             // out_valid` is false on the real design — the paper's
             // "human investigation required" case.
             PropertyClass::ReviewExpectedFail => {
-                assert!(p.failure_count > 0, "{name} must fail after the disjunct drop");
+                assert!(
+                    p.failure_count > 0,
+                    "{name} must fail after the disjunct drop"
+                );
             }
             PropertyClass::DeletedAtTlm => panic!("no deleted properties in this suite"),
         }
@@ -76,8 +85,14 @@ fn abstracted_suite_at_tlm_at_loose_matches_classification() {
 #[test]
 fn corrupt_luma_mutant_caught_by_range_and_anchor_properties() {
     let report = verify_conv_rtl(&workload(), ConvMutation::CorruptLuma);
-    assert!(report.property("c4").unwrap().failure_count > 0, "luma floor violated");
-    assert!(report.property("c2").unwrap().failure_count > 0, "black anchor violated");
+    assert!(
+        report.property("c4").unwrap().failure_count > 0,
+        "luma floor violated"
+    );
+    assert!(
+        report.property("c2").unwrap().failure_count > 0,
+        "black anchor violated"
+    );
 
     let (report, _) = verify_conv_tlm_abstracted(
         &workload(),
@@ -91,11 +106,8 @@ fn corrupt_luma_mutant_caught_by_range_and_anchor_properties() {
 #[test]
 fn latency_mutants_caught_at_tlm_at() {
     for mutation in [ConvMutation::LatencyShort, ConvMutation::LatencyLong] {
-        let (report, _) = verify_conv_tlm_abstracted(
-            &workload(),
-            mutation,
-            CodingStyle::ApproximatelyTimedLoose,
-        );
+        let (report, _) =
+            verify_conv_tlm_abstracted(&workload(), mutation, CodingStyle::ApproximatelyTimedLoose);
         assert!(
             report.property("c1").unwrap().failure_count > 0,
             "{mutation:?} must violate the abstracted c1"

@@ -47,11 +47,8 @@ fn abstracted_suite_at_tlm_ca_passes_entirely() {
     // abstracted property (including q2 and the review-flagged ones that
     // merely weakened) must hold, except disjunct-dropped rewrites which
     // changed intent — DES56 has none that survive.
-    let (report, classes) = verify_des_tlm_abstracted(
-        &workload(),
-        DesMutation::None,
-        CodingStyle::CycleAccurate,
-    );
+    let (report, classes) =
+        verify_des_tlm_abstracted(&workload(), DesMutation::None, CodingStyle::CycleAccurate);
     assert_eq!(classes.len(), 8, "p8 is deleted by signal abstraction");
     assert_all_pass(&report);
 }
@@ -67,7 +64,12 @@ fn abstracted_suite_at_tlm_at_loose_matches_classification() {
         let p = report.property(name).unwrap();
         match class {
             PropertyClass::AtCompatible => {
-                assert_eq!(p.failure_count, 0, "{name} must pass at TLM-AT: {:?}", p.failures.first());
+                assert_eq!(
+                    p.failure_count,
+                    0,
+                    "{name} must pass at TLM-AT: {:?}",
+                    p.failures.first()
+                );
             }
             PropertyClass::CaOnly => {
                 assert!(
@@ -76,7 +78,10 @@ fn abstracted_suite_at_tlm_at_loose_matches_classification() {
                 );
             }
             PropertyClass::ReviewExpectedFail => {
-                assert!(p.failure_count > 0, "{name} was review-flagged and must fail");
+                assert!(
+                    p.failure_count > 0,
+                    "{name} was review-flagged and must fail"
+                );
             }
             PropertyClass::DeletedAtTlm => panic!("deleted properties are not installed"),
         }
@@ -115,11 +120,8 @@ fn latency_mutants_caught_at_rtl() {
 #[test]
 fn latency_mutants_caught_by_abstracted_checkers_at_tlm_at() {
     for mutation in [DesMutation::LatencyShort, DesMutation::LatencyLong] {
-        let (report, _) = verify_des_tlm_abstracted(
-            &workload(),
-            mutation,
-            CodingStyle::ApproximatelyTimedLoose,
-        );
+        let (report, _) =
+            verify_des_tlm_abstracted(&workload(), mutation, CodingStyle::ApproximatelyTimedLoose);
         let p4 = report.property("p4").unwrap();
         assert!(
             p4.failure_count > 0,

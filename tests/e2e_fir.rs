@@ -1,8 +1,7 @@
 //! End-to-end verification of the FIR extension IP: the abstraction flow
 //! generalizes beyond the paper's two evaluation designs.
 
-use abv_checker::{collect_clock_reports, collect_tx_reports, install_clock_checkers,
-    install_tx_checkers};
+use abv_checker::{Binding, Checker};
 use abv_core::{abstract_property, AbstractionConfig};
 use designs::fir::{self, FirMutation, FirWorkload};
 use designs::{PropertyClass, SuiteEntry, CLOCK_PERIOD_NS};
@@ -20,10 +19,10 @@ fn rtl_suite_passes() {
     let mut built = fir::build_rtl(&w, FirMutation::None);
     let props: Vec<(String, ClockedProperty)> =
         fir::suite().iter().map(SuiteEntry::named).collect();
-    let hosts =
-        install_clock_checkers(&mut built.sim, built.clk.signal, &props).expect("installs");
+    let checkers = Checker::attach_all(&mut built.sim, &props, Binding::clock(built.clk.signal))
+        .expect("installs");
     built.run();
-    let report = collect_clock_reports(&mut built.sim, &hosts, built.end_ns);
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
     for p in &report.properties {
         assert_eq!(p.failure_count, 0, "{p}");
     }
@@ -61,11 +60,14 @@ fn abstracted_suite_matches_classification_at_tlm_at() {
                 .map(|q| (e.name.to_owned(), q, e.class))
         })
         .collect();
-    let named: Vec<(String, ClockedProperty)> =
-        props.iter().map(|(n, q, _)| (n.clone(), q.clone())).collect();
-    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &named).expect("installs");
+    let named: Vec<(String, ClockedProperty)> = props
+        .iter()
+        .map(|(n, q, _)| (n.clone(), q.clone()))
+        .collect();
+    let checkers =
+        Checker::attach_all(&mut built.sim, &named, Binding::bus(&built.bus)).expect("installs");
     built.run();
-    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
     for (name, _, class) in &props {
         let p = report.property(name).unwrap();
         match class {
@@ -81,13 +83,23 @@ fn abstracted_suite_matches_classification_at_tlm_at() {
 #[test]
 fn latency_mutant_caught_by_abstracted_f1() {
     let w = FirWorkload::random(6, 0xF3);
-    let mut built =
-        fir::build_tlm_at(&w, FirMutation::LatencyShort, CodingStyle::ApproximatelyTimedLoose);
+    let mut built = fir::build_tlm_at(
+        &w,
+        FirMutation::LatencyShort,
+        CodingStyle::ApproximatelyTimedLoose,
+    );
     let suite = fir::suite();
-    let q1 = abstract_property(&suite[0].rtl, &cfg()).unwrap().into_property().unwrap();
-    let hosts = install_tx_checkers(&mut built.sim, &built.bus, &[("f1".to_owned(), q1)])
-        .expect("installs");
+    let q1 = abstract_property(&suite[0].rtl, &cfg())
+        .unwrap()
+        .into_property()
+        .unwrap();
+    let checkers = Checker::attach_all(
+        &mut built.sim,
+        &[("f1".to_owned(), q1)],
+        Binding::bus(&built.bus),
+    )
+    .expect("installs");
     built.run();
-    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
     assert!(report.properties[0].failure_count > 0);
 }

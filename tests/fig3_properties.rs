@@ -12,7 +12,10 @@ fn abstracted(name: &str) -> (String, Consequence) {
     let entry = suite.iter().find(|e| e.name == name).expect("suite entry");
     let a = abstract_property(&entry.rtl, &des_config()).expect("abstracts");
     let consequence = a.consequence();
-    let q = a.into_property().map(|q| q.to_string()).unwrap_or_else(|| "(deleted)".to_owned());
+    let q = a
+        .into_property()
+        .map(|q| q.to_string())
+        .unwrap_or_else(|| "(deleted)".to_owned());
     (q, consequence)
 }
 
@@ -51,11 +54,13 @@ fn p3_to_q3() {
 #[test]
 fn intermediate_forms_of_p2_match_the_paper_walkthrough() {
     // Section III-A walks p2 through push-ahead and Algorithm III.1.
-    let p2_body: psl::Property =
-        "!ds || (next ((!ds) until next rdy))".parse().unwrap();
+    let p2_body: psl::Property = "!ds || (next ((!ds) until next rdy))".parse().unwrap();
     let nnf = psl::nnf::to_nnf(&p2_body);
     let pushed = psl::push_ahead::push_ahead(&nnf).unwrap();
-    assert_eq!(pushed.to_string(), "(!ds) || ((next (!ds)) until (next[2] rdy))");
+    assert_eq!(
+        pushed.to_string(),
+        "(!ds) || ((next (!ds)) until (next[2] rdy))"
+    );
     let substituted = abv_core::algorithm::next_substitution(&pushed, 10).unwrap();
     assert_eq!(
         substituted.to_string(),

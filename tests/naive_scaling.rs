@@ -11,7 +11,7 @@
 
 mod common;
 
-use abv_checker::{collect_tx_reports, install_tx_checkers};
+use abv_checker::{Binding, Checker};
 use abv_core::{abstract_property, naive::naive_scale};
 use common::des_config;
 use designs::des56::{self, DesMutation, DesWorkload};
@@ -33,20 +33,25 @@ fn naive_q4() -> ClockedProperty {
 fn q4() -> ClockedProperty {
     let suite = des56::suite();
     let p4 = &suite.iter().find(|e| e.name == "p4").unwrap().rtl;
-    abstract_property(p4, &des_config()).unwrap().into_property().unwrap()
+    abstract_property(p4, &des_config())
+        .unwrap()
+        .into_property()
+        .unwrap()
 }
 
 fn run(property: ClockedProperty, style: CodingStyle) -> abv_checker::PropertyReport {
     let w = DesWorkload::mixed(8, 0x7A);
     let mut built = des56::build_tlm_at(&w, DesMutation::None, style);
-    let hosts = install_tx_checkers(
+    let checkers = Checker::attach_all(
         &mut built.sim,
-        &built.bus,
         &[("q".to_owned(), property)],
+        Binding::bus(&built.bus),
     )
     .expect("installs");
     built.run();
-    collect_tx_reports(&mut built.sim, &hosts, built.end_ns).properties.remove(0)
+    Checker::collect(&mut built.sim, &checkers, built.end_ns)
+        .properties
+        .remove(0)
 }
 
 #[test]
@@ -64,12 +69,18 @@ fn overlapping_transaction_breaks_naive_scaling() {
     // could introduce an extra evaluation point for that property causing
     // its inopportune failure" (Section III-A).
     let report = run(naive_q4(), CodingStyle::ApproximatelyTimedStrict);
-    assert!(report.failure_count > 0, "the extra transaction must break next[1]");
+    assert!(
+        report.failure_count > 0,
+        "the extra transaction must break next[1]"
+    );
 }
 
 #[test]
 fn next_et_abstraction_is_robust_to_extra_transactions() {
-    for style in [CodingStyle::ApproximatelyTimedLoose, CodingStyle::ApproximatelyTimedStrict] {
+    for style in [
+        CodingStyle::ApproximatelyTimedLoose,
+        CodingStyle::ApproximatelyTimedStrict,
+    ] {
         let report = run(q4(), style);
         assert_eq!(
             report.failure_count,
@@ -94,9 +105,13 @@ fn naive_scaling_breaks_even_at_ca_granularity_without_exact_knowledge() {
 
     let w = DesWorkload::mixed(4, 0x7B);
     let mut built = des56::build_tlm_ca(&w, DesMutation::None);
-    let hosts =
-        install_tx_checkers(&mut built.sim, &built.bus, &[("wrong".to_owned(), q)]).unwrap();
+    let checkers = Checker::attach_all(
+        &mut built.sim,
+        &[("wrong".to_owned(), q)],
+        Binding::bus(&built.bus),
+    )
+    .unwrap();
     built.run();
-    let report = collect_tx_reports(&mut built.sim, &hosts, built.end_ns);
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
     assert!(report.properties[0].failure_count > 0);
 }

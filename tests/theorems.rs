@@ -107,9 +107,15 @@ fn ca_only_abstraction_fails_on_sparse_at_trace() {
     let traces = des_traces(8);
     let suite = des56::suite();
     let p2 = suite.iter().find(|e| e.name == "p2").unwrap();
-    let q2 = abstract_property(&p2.rtl, &des_config()).unwrap().into_property().unwrap();
+    let q2 = abstract_property(&p2.rtl, &des_config())
+        .unwrap()
+        .into_property()
+        .unwrap();
     assert!(traces.ca.satisfies(&q2).unwrap(), "q2 holds at TLM-CA");
-    assert!(!traces.at.satisfies(&q2).unwrap(), "q2 cannot hold at loose TLM-AT");
+    assert!(
+        !traces.at.satisfies(&q2).unwrap(),
+        "q2 cannot hold at loose TLM-AT"
+    );
 }
 
 #[test]
@@ -131,13 +137,21 @@ fn colorconv_theorems_on_the_oracle_path() {
     let ca = TxTraceRecorder::take_trace(&ca_built.sim, rec);
 
     for entry in colorconv::suite() {
-        assert!(rtl.satisfies(&entry.rtl).unwrap(), "RTL trace satisfies {}", entry.name);
+        assert!(
+            rtl.satisfies(&entry.rtl).unwrap(),
+            "RTL trace satisfies {}",
+            entry.name
+        );
         if entry.class == PropertyClass::ReviewExpectedFail {
             continue;
         }
         let a = abstract_property(&entry.rtl, &conv_config()).unwrap();
         if let Some(q) = a.into_property() {
-            assert!(ca.satisfies(&q).unwrap(), "TLM-CA trace satisfies abstraction of {}", entry.name);
+            assert!(
+                ca.satisfies(&q).unwrap(),
+                "TLM-CA trace satisfies abstraction of {}",
+                entry.name
+            );
         }
     }
 }
@@ -147,14 +161,23 @@ fn mutated_tlm_model_fails_the_abstraction_as_theorem_iii_2_contrapositive() {
     // If q fails at TLM on a timing-equivalent stimulus, the abstraction of
     // the design was wrong — here, an injected latency bug.
     let w = DesWorkload::mixed(6, 0xAC);
-    let mut at_built =
-        des56::build_tlm_at(&w, DesMutation::LatencyLong, CodingStyle::ApproximatelyTimedLoose);
+    let mut at_built = des56::build_tlm_at(
+        &w,
+        DesMutation::LatencyLong,
+        CodingStyle::ApproximatelyTimedLoose,
+    );
     let rec = TxTraceRecorder::install(&mut at_built.sim, &at_built.bus, des56::TLM_AT_SIGNALS);
     at_built.run();
     let at = TxTraceRecorder::take_trace(&at_built.sim, rec);
 
     let suite = des56::suite();
     let p4 = suite.iter().find(|e| e.name == "p4").unwrap();
-    let q4 = abstract_property(&p4.rtl, &des_config()).unwrap().into_property().unwrap();
-    assert!(!at.satisfies(&q4).unwrap(), "latency bug must violate q4 on the trace oracle too");
+    let q4 = abstract_property(&p4.rtl, &des_config())
+        .unwrap()
+        .into_property()
+        .unwrap();
+    assert!(
+        !at.satisfies(&q4).unwrap(),
+        "latency bug must violate q4 on the trace oracle too"
+    );
 }

@@ -4,16 +4,20 @@
 //! every TLM-AT transaction instant must agree with the RTL trace at that
 //! time.
 
-use designs::des56::{self, DesMutation, DesWorkload};
 use designs::colorconv::{self, ConvMutation, ConvWorkload};
+use designs::des56::{self, DesMutation, DesWorkload};
 use psl::{ClockEdge, SignalEnv, Trace};
 use rtlkit::WaveRecorder;
 use tlmkit::{CodingStyle, TxTraceRecorder};
 
 fn des_rtl_trace(w: &DesWorkload) -> Trace {
     let mut built = des56::build_rtl(w, DesMutation::None);
-    let rec =
-        WaveRecorder::install(&mut built.sim, built.clk.signal, ClockEdge::Pos, des56::RTL_SIGNALS);
+    let rec = WaveRecorder::install(
+        &mut built.sim,
+        built.clk.signal,
+        ClockEdge::Pos,
+        des56::RTL_SIGNALS,
+    );
     built.run();
     WaveRecorder::take_trace(&built.sim, rec)
 }
@@ -69,7 +73,10 @@ fn des56_rtl_and_tlm_ca_traces_are_identical() {
 fn des56_tlm_at_transactions_agree_with_rtl_at_their_instants() {
     let w = DesWorkload::mixed(6, 0xE2);
     let rtl = des_rtl_trace(&w);
-    for style in [CodingStyle::ApproximatelyTimedLoose, CodingStyle::ApproximatelyTimedStrict] {
+    for style in [
+        CodingStyle::ApproximatelyTimedLoose,
+        CodingStyle::ApproximatelyTimedStrict,
+    ] {
         let at = des_at_trace(&w, style);
         assert_subset_equal(&at, &rtl, des56::TLM_AT_SIGNALS);
     }
@@ -115,7 +122,10 @@ fn des56_loose_at_misses_some_io_changes() {
             missed += 1;
         }
     }
-    assert!(missed > 0, "loose TLM-AT deliberately skips the release instants");
+    assert!(
+        missed > 0,
+        "loose TLM-AT deliberately skips the release instants"
+    );
 }
 
 #[test]

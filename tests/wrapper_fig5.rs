@@ -4,8 +4,8 @@
 //! "failure at time 350ns because checker instance C[3] was not executed
 //! when expected at time 340ns").
 
-use abv_checker::{FailReason, TxCheckerHost};
-use desim::{Component, Event, SimCtx, SignalId, SimTime, Simulation};
+use abv_checker::{Binding, Checker, FailReason};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
 use psl::ClockedProperty;
 use tlmkit::{Transaction, TransactionBus};
 
@@ -37,14 +37,20 @@ fn run_script(script: Vec<(u64, u64, u64)>) -> abv_checker::PropertyReport {
     let ds = sim.add_signal("ds", 0);
     let rdy = sim.add_signal("rdy", 0);
     let first = script[0].0;
-    let model = sim.add_component(ScriptedModel { bus: bus.clone(), ds, rdy, script, next: 0 });
+    let model = sim.add_component(ScriptedModel {
+        bus: bus.clone(),
+        ds,
+        rdy,
+        script,
+        next: 0,
+    });
     sim.schedule(SimTime::from_ns(first), model, 0);
 
     let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b".parse().unwrap();
-    let host = TxCheckerHost::install(&mut sim, &bus, "q3", &q3).unwrap();
+    let checker = Checker::attach(&mut sim, "q3", &q3, Binding::bus(&bus)).unwrap();
     sim.run_to_completion();
     let end = sim.now().as_ns();
-    sim.component_mut::<TxCheckerHost>(host).unwrap().finalize(end)
+    checker.finalize(&mut sim, end)
 }
 
 #[test]
@@ -61,7 +67,10 @@ fn fig5_failure_when_expected_instant_is_skipped() {
     let failure = report.failures[0];
     assert_eq!(failure.fire_ns, 170);
     assert_eq!(failure.fail_ns, 350);
-    assert_eq!(failure.reason, FailReason::MissedDeadline { deadline_ns: 340 });
+    assert_eq!(
+        failure.reason,
+        FailReason::MissedDeadline { deadline_ns: 340 }
+    );
 }
 
 #[test]
