@@ -9,15 +9,60 @@
 //! by work-list index and folds them in plan order, so the merged report
 //! is identical for any worker count.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
 use abv_checker::Checker;
+use abv_obs::{trace, MemorySink, TraceEvent, Tracer};
 
 use crate::plan::{CampaignPlan, PlanError, RunSpec};
 use crate::report::{CampaignReport, RunOutcome};
+
+/// How campaign runs are traced.
+///
+/// Tracing is per run: each worker attaches a fresh in-memory sink to its
+/// freshly built simulation (sinks are `Rc`-based and never cross threads;
+/// only the recorded `Send` events do), and the collector merges the
+/// per-run traces in work-list order — so the merged trace, like the
+/// merged report, is independent of the worker count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceSettings {
+    /// Record trace events (default: off, the no-op path).
+    pub enabled: bool,
+    /// Omit wall-clock args from run spans, so the merged trace is
+    /// byte-identical across worker counts.
+    pub deterministic: bool,
+}
+
+impl TraceSettings {
+    /// Tracing off — the zero-overhead default.
+    #[must_use]
+    pub fn off() -> TraceSettings {
+        TraceSettings::default()
+    }
+
+    /// Tracing on, with wall-clock annotations on run spans.
+    #[must_use]
+    pub fn on() -> TraceSettings {
+        TraceSettings {
+            enabled: true,
+            deterministic: false,
+        }
+    }
+
+    /// Tracing on with wall-clock fields omitted (reproducible output).
+    #[must_use]
+    pub fn deterministic() -> TraceSettings {
+        TraceSettings {
+            enabled: true,
+            deterministic: true,
+        }
+    }
+}
 
 /// Executes one run spec in the calling thread: build the design fresh
 /// from `(cell, seed)`, attach the cell's checker selection, simulate,
@@ -30,6 +75,19 @@ use crate::report::{CampaignReport, RunOutcome};
 /// of a validated plan cannot hit this.
 #[must_use]
 pub fn execute_run(spec: &RunSpec) -> RunOutcome {
+    execute_run_with(spec, TraceSettings::off())
+}
+
+/// [`execute_run`] with tracing: when enabled, the run's whole event
+/// stream — kernel counters, transaction instants, checker-instance spans
+/// and one `run` span covering the simulation — is captured into
+/// [`RunOutcome::trace`].
+///
+/// # Panics
+///
+/// See [`execute_run`].
+#[must_use]
+pub fn execute_run_with(spec: &RunSpec, settings: TraceSettings) -> RunOutcome {
     let props = spec
         .spec
         .checkers
@@ -42,17 +100,44 @@ pub fn execute_run(spec: &RunSpec) -> RunOutcome {
         spec.spec.fault,
     )
     .expect("validated plan cell must build");
+    let sink = settings
+        .enabled
+        .then(|| Rc::new(RefCell::new(MemorySink::new())));
+    if let Some(sink) = &sink {
+        // Attach before the checkers so their track metadata is recorded.
+        built.sim.set_tracer(Tracer::to_sink(sink.clone()));
+    }
     let binding = built.binding();
     let checkers =
         Checker::attach_all(&mut built.sim, &props, binding).expect("suite attaches at its level");
+    let tracer = built.sim.tracer().clone();
+    trace!(
+        tracer,
+        TraceEvent::span_begin("run", 0, 0, 0)
+            .with_arg("cell", spec.cell as u64)
+            .with_arg("rep", spec.rep as u64)
+            .with_arg("seed", format!("{:#018x}", spec.seed))
+    );
     let start = Instant::now();
     let stats = built.run();
     let wall = start.elapsed();
     let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
+    trace!(tracer, {
+        let end = TraceEvent::span_end(0, 0, built.end_ns);
+        if settings.deterministic {
+            end
+        } else {
+            end.with_arg("wall_us", wall.as_micros() as u64)
+        }
+    });
+    let trace = sink
+        .map(|sink| sink.borrow_mut().take_events())
+        .unwrap_or_default();
     RunOutcome {
         wall,
         stats,
         report,
+        trace,
     }
 }
 
@@ -68,6 +153,23 @@ pub fn execute_run(spec: &RunSpec) -> RunOutcome {
 ///
 /// Returns a [`PlanError`] if the plan fails validation; no work starts.
 pub fn run_campaign(plan: &CampaignPlan, workers: usize) -> Result<CampaignReport, PlanError> {
+    run_campaign_with(plan, workers, TraceSettings::off())
+}
+
+/// [`run_campaign`] with tracing: each worker records its runs' events into
+/// per-run in-memory sinks, and the collector merges them in work-list
+/// order into [`CampaignReport::trace`] with one trace process (`pid`) per
+/// run. With [`TraceSettings::deterministic`], the merged trace is
+/// byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the plan fails validation; no work starts.
+pub fn run_campaign_with(
+    plan: &CampaignPlan,
+    workers: usize,
+    settings: TraceSettings,
+) -> Result<CampaignReport, PlanError> {
     plan.validate()?;
     let specs = plan.run_specs();
     let workers = workers.clamp(1, specs.len());
@@ -83,7 +185,7 @@ pub fn run_campaign(plan: &CampaignPlan, workers: usize) -> Result<CampaignRepor
             scope.spawn(move || loop {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(index) else { break };
-                let outcome = execute_run(spec);
+                let outcome = execute_run_with(spec, settings);
                 if tx.send((index, outcome)).is_err() {
                     break;
                 }

@@ -39,6 +39,6 @@ mod engine;
 mod plan;
 mod report;
 
-pub use engine::{execute_run, run_campaign};
+pub use engine::{execute_run, execute_run_with, run_campaign, run_campaign_with, TraceSettings};
 pub use plan::{run_seed, CampaignPlan, CellSpec, CheckerMode, PlanError, RunSpec};
 pub use report::{CampaignReport, CellReport, FirstFailure, RunOutcome};

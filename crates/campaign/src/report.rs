@@ -11,6 +11,7 @@ use std::fmt;
 use std::time::Duration;
 
 use abv_checker::{CheckReport, Failure};
+use abv_obs::TraceEvent;
 use desim::SimStats;
 
 use crate::plan::{CampaignPlan, CellSpec, RunSpec};
@@ -24,6 +25,9 @@ pub struct RunOutcome {
     pub stats: SimStats,
     /// Suite report of this run (empty without checkers).
     pub report: CheckReport,
+    /// Recorded trace events (empty unless tracing was enabled via
+    /// [`TraceSettings`](crate::TraceSettings)).
+    pub trace: Vec<TraceEvent>,
 }
 
 /// The earliest failing run of a cell (work-list order) with enough
@@ -146,6 +150,10 @@ pub struct CampaignReport {
     pub size: usize,
     /// Base seed, echoed from the plan.
     pub base_seed: u64,
+    /// Merged trace: per-run event streams concatenated in work-list order,
+    /// each run remapped to its own trace process (`pid` = work-list index)
+    /// and labelled via `process_name` metadata. Empty without tracing.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl CampaignReport {
@@ -169,9 +177,24 @@ impl CampaignReport {
             .iter()
             .map(|&spec| CellReport::new(spec))
             .collect();
-        for (spec, outcome) in specs.iter().zip(&outcomes) {
+        let mut trace = Vec::new();
+        for (run_index, (spec, outcome)) in specs.iter().zip(&outcomes).enumerate() {
             let outcome = outcome.as_ref().expect("one outcome per run spec");
             cells[spec.cell].fold(spec, outcome);
+            if !outcome.trace.is_empty() {
+                let pid = run_index as u64;
+                trace.push(TraceEvent::process_name(
+                    pid,
+                    &format!(
+                        "run {run_index}: {} rep {} seed {:#018x}",
+                        plan.cells[spec.cell], spec.rep, spec.seed
+                    ),
+                ));
+                trace.extend(outcome.trace.iter().cloned().map(|mut ev| {
+                    ev.pid = pid;
+                    ev
+                }));
+            }
         }
         CampaignReport {
             name: plan.name.clone(),
@@ -181,6 +204,7 @@ impl CampaignReport {
             runs_per_cell: plan.runs_per_cell,
             size: plan.size,
             base_seed: plan.base_seed,
+            trace,
         }
     }
 
@@ -289,6 +313,7 @@ mod tests {
                 ..SimStats::new()
             },
             report: [p].into_iter().collect(),
+            trace: Vec::new(),
         }
     }
 

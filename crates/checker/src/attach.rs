@@ -146,22 +146,25 @@ impl Checker {
     }
 
     /// Finalizes the checker at simulation end `end_ns` and returns the
-    /// definitive report (undetermined instances become `pending`).
+    /// definitive report (undetermined instances become `pending`). Uses
+    /// the simulation's tracer, so still-open checker-instance spans are
+    /// closed in the trace.
     ///
     /// # Panics
     ///
     /// Panics if the handle does not belong to `sim`.
     #[must_use]
     pub fn finalize(&self, sim: &mut Simulation, end_ns: u64) -> PropertyReport {
+        let tracer = sim.tracer().clone();
         match self.kind {
             Kind::Clock => sim
                 .component_mut::<ClockCheckerHost>(self.id)
                 .expect("checker handle must belong to this simulation")
-                .finalize(end_ns),
+                .finalize_traced(end_ns, &tracer),
             Kind::Tx => sim
                 .component_mut::<TxCheckerHost>(self.id)
                 .expect("checker handle must belong to this simulation")
-                .finalize(end_ns),
+                .finalize_traced(end_ns, &tracer),
         }
     }
 

@@ -1,17 +1,28 @@
 //! Checker hosts: the components that feed evaluation events to a
 //! [`PropertyChecker`].
 
+use abv_obs::{trace, TraceEvent, Tracer};
 use desim::{Component, ComponentId, Event, SignalId, SimCtx, Simulation};
 use psl::{ClockEdge, ClockedProperty};
 use tlmkit::TransactionBus;
 
 use crate::compile::{compile, CompileError};
 use crate::monitor::PropertyChecker;
-use crate::report::{CheckReport, PropertyReport};
+use crate::report::PropertyReport;
 
 const KIND_CLK: u64 = 0;
 const KIND_SAMPLE: u64 = 1;
 const KIND_TX: u64 = 2;
+
+/// Spacing between per-checker trace-track blocks: each checker host owns
+/// tracks `[base, base + TRACE_TRACK_STRIDE)` for its property-level track
+/// plus one track per pool slot.
+const TRACE_TRACK_STRIDE: u64 = 1000;
+
+/// The base trace track of the checker hosted by component `id`.
+fn trace_tid_base(id: ComponentId) -> u64 {
+    (id.index() as u64 + 1) * TRACE_TRACK_STRIDE
+}
 
 /// Drives a checker at clock edges — the RTL verification host, also used
 /// for unabstracted properties on cycle-accurate models.
@@ -44,7 +55,41 @@ pub(crate) fn install_clock_host(
     };
     let id = sim.add_component(host);
     sim.subscribe(clk, id, KIND_CLK);
+    assign_trace_tracks::<ClockCheckerHost>(sim, id, name);
     Ok(id)
+}
+
+/// Gives the freshly installed checker its trace-track block and labels the
+/// property-level track, so traces show one named row per property.
+fn assign_trace_tracks<H: HostAccess>(sim: &mut Simulation, id: ComponentId, name: &str) {
+    let tid = trace_tid_base(id);
+    H::checker_of(sim, id).set_trace_tid(tid);
+    let tracer = sim.tracer().clone();
+    trace!(tracer, TraceEvent::thread_name(0, tid, name));
+}
+
+/// Internal access to the checker inside a host component, for
+/// install-time configuration.
+trait HostAccess: Component + Sized {
+    fn checker_of(sim: &mut Simulation, id: ComponentId) -> &mut PropertyChecker;
+}
+
+impl HostAccess for ClockCheckerHost {
+    fn checker_of(sim: &mut Simulation, id: ComponentId) -> &mut PropertyChecker {
+        &mut sim
+            .component_mut::<ClockCheckerHost>(id)
+            .expect("just installed")
+            .checker
+    }
+}
+
+impl HostAccess for TxCheckerHost {
+    fn checker_of(sim: &mut Simulation, id: ComponentId) -> &mut PropertyChecker {
+        &mut sim
+            .component_mut::<TxCheckerHost>(id)
+            .expect("just installed")
+            .checker
+    }
 }
 
 /// Compiles `property` and installs a [`TxCheckerHost`] observing `bus`.
@@ -60,32 +105,21 @@ pub(crate) fn install_tx_host(
     }
     let id = sim.add_component(TxCheckerHost { checker });
     bus.subscribe(id, KIND_TX);
+    assign_trace_tracks::<TxCheckerHost>(sim, id, name);
     Ok(id)
 }
 
 impl ClockCheckerHost {
-    /// Compiles `property` and installs a host sampling at the edges of
-    /// `clk` required by the property's clock context.
-    ///
-    /// # Errors
-    ///
-    /// - [`CompileError`] from checker synthesis;
-    /// - a property with a transaction context is rejected (use
-    ///   [`TxCheckerHost`]).
-    #[deprecated(note = "use `Checker::attach` with `Binding::clock` instead")]
-    pub fn install(
-        sim: &mut Simulation,
-        clk: SignalId,
-        name: &str,
-        property: &ClockedProperty,
-    ) -> Result<ComponentId, InstallError> {
-        install_clock_host(sim, clk, name, property)
-    }
-
     /// Finalizes the checker at simulation end `end_ns` and returns the
     /// definitive report.
     pub fn finalize(&mut self, end_ns: u64) -> PropertyReport {
-        self.checker.finish(end_ns);
+        self.finalize_traced(end_ns, &Tracer::disabled())
+    }
+
+    /// [`finalize`](ClockCheckerHost::finalize) with trace emission: closes
+    /// the spans of still-open checker instances.
+    pub fn finalize_traced(&mut self, end_ns: u64, tracer: &Tracer) -> PropertyReport {
+        self.checker.finish_traced(end_ns, tracer);
         self.checker.report()
     }
 
@@ -120,7 +154,7 @@ impl Component for ClockCheckerHost {
             KIND_SAMPLE => {
                 let now = ev.time.as_ns();
                 let checker = &mut self.checker;
-                checker.on_event(&|sig| ctx.read(sig), now);
+                checker.on_event_traced(&|sig| ctx.read(sig), now, ctx.tracer());
             }
             other => unreachable!("unknown host event kind {other}"),
         }
@@ -138,27 +172,16 @@ pub struct TxCheckerHost {
 }
 
 impl TxCheckerHost {
-    /// Compiles `property` and installs a wrapper observing `bus`.
-    ///
-    /// # Errors
-    ///
-    /// - [`CompileError`] from checker synthesis;
-    /// - a property with a clock context is rejected (abstract it first,
-    ///   then install; or use [`ClockCheckerHost`]).
-    #[deprecated(note = "use `Checker::attach` with `Binding::bus` instead")]
-    pub fn install(
-        sim: &mut Simulation,
-        bus: &TransactionBus,
-        name: &str,
-        property: &ClockedProperty,
-    ) -> Result<ComponentId, InstallError> {
-        install_tx_host(sim, bus, name, property)
-    }
-
     /// Finalizes the checker at simulation end `end_ns` and returns the
     /// definitive report.
     pub fn finalize(&mut self, end_ns: u64) -> PropertyReport {
-        self.checker.finish(end_ns);
+        self.finalize_traced(end_ns, &Tracer::disabled())
+    }
+
+    /// [`finalize`](TxCheckerHost::finalize) with trace emission: closes
+    /// the spans of still-open checker instances.
+    pub fn finalize_traced(&mut self, end_ns: u64, tracer: &Tracer) -> PropertyReport {
+        self.checker.finish_traced(end_ns, tracer);
         self.checker.report()
     }
 
@@ -186,7 +209,7 @@ impl Component for TxCheckerHost {
             KIND_SAMPLE => {
                 let now = ev.time.as_ns();
                 let checker = &mut self.checker;
-                checker.on_event(&|sig| ctx.read(sig), now);
+                checker.on_event_traced(&|sig| ctx.read(sig), now, ctx.tracer());
             }
             other => unreachable!("unknown host event kind {other}"),
         }
@@ -198,10 +221,9 @@ impl Component for TxCheckerHost {
 pub enum InstallError {
     /// Checker synthesis failed.
     Compile(CompileError),
-    /// Clock-context property given to the transaction host or vice versa
-    /// (only reachable through the deprecated per-host installers; the
-    /// [`Checker::attach`](crate::Checker::attach) facade dispatches on the
-    /// context instead).
+    /// Clock-context property given to the transaction host or vice versa.
+    /// The [`Checker::attach`](crate::Checker::attach) facade dispatches on
+    /// the property's context, so this is a defensive internal check.
     WrongContext,
     /// The property samples at clock edges but the
     /// [`Binding`](crate::Binding) carries no clock signal.
@@ -241,82 +263,6 @@ impl From<CompileError> for InstallError {
     fn from(e: CompileError) -> InstallError {
         InstallError::Compile(e)
     }
-}
-
-/// Installs one [`ClockCheckerHost`] per property and returns their ids.
-///
-/// # Errors
-///
-/// Fails on the first property that cannot be installed, reporting its
-/// index.
-#[deprecated(note = "use `Checker::attach_all` with `Binding::clock` instead")]
-pub fn install_clock_checkers(
-    sim: &mut Simulation,
-    clk: SignalId,
-    properties: &[(String, ClockedProperty)],
-) -> Result<Vec<ComponentId>, (usize, InstallError)> {
-    properties
-        .iter()
-        .enumerate()
-        .map(|(i, (name, p))| install_clock_host(sim, clk, name, p).map_err(|e| (i, e)))
-        .collect()
-}
-
-/// Installs one [`TxCheckerHost`] per property and returns their ids.
-///
-/// # Errors
-///
-/// Fails on the first property that cannot be installed, reporting its
-/// index.
-#[deprecated(note = "use `Checker::attach_all` with `Binding::bus` instead")]
-pub fn install_tx_checkers(
-    sim: &mut Simulation,
-    bus: &TransactionBus,
-    properties: &[(String, ClockedProperty)],
-) -> Result<Vec<ComponentId>, (usize, InstallError)> {
-    properties
-        .iter()
-        .enumerate()
-        .map(|(i, (name, p))| install_tx_host(sim, bus, name, p).map_err(|e| (i, e)))
-        .collect()
-}
-
-/// Finalizes clock-checker hosts and collects their reports.
-///
-/// # Panics
-///
-/// Panics if an id does not refer to a [`ClockCheckerHost`] of `sim`.
-#[deprecated(note = "use `Checker::collect` on handles from `Checker::attach_all` instead")]
-pub fn collect_clock_reports(
-    sim: &mut Simulation,
-    hosts: &[ComponentId],
-    end_ns: u64,
-) -> CheckReport {
-    hosts
-        .iter()
-        .map(|&id| {
-            sim.component_mut::<ClockCheckerHost>(id)
-                .expect("id must refer to a ClockCheckerHost")
-                .finalize(end_ns)
-        })
-        .collect()
-}
-
-/// Finalizes transaction-checker hosts and collects their reports.
-///
-/// # Panics
-///
-/// Panics if an id does not refer to a [`TxCheckerHost`] of `sim`.
-#[deprecated(note = "use `Checker::collect` on handles from `Checker::attach_all` instead")]
-pub fn collect_tx_reports(sim: &mut Simulation, hosts: &[ComponentId], end_ns: u64) -> CheckReport {
-    hosts
-        .iter()
-        .map(|&id| {
-            sim.component_mut::<TxCheckerHost>(id)
-                .expect("id must refer to a TxCheckerHost")
-                .finalize(end_ns)
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -401,15 +347,6 @@ mod tests {
         assert_eq!(err, InstallError::MissingBus);
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_clock_shim_rejects_transaction_context() {
-        let (mut sim, clk) = pulse_sim(3, 17);
-        let p: ClockedProperty = "always rdy @T_b".parse().unwrap();
-        let err = ClockCheckerHost::install(&mut sim, clk, "p", &p).unwrap_err();
-        assert_eq!(err, InstallError::WrongContext);
-    }
-
     /// Publishes a write at 10ns (ds=1) and a read at 180ns (rdy=1).
     struct AtModel {
         bus: TransactionBus,
@@ -486,12 +423,49 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_tx_shim_rejects_clock_context() {
+    fn wrapper_lifecycle_is_traced_as_spans() {
+        use abv_obs::{Phase, Tracer};
+
         let (mut sim, bus) = at_sim();
-        let p: ClockedProperty = "always rdy @clk_pos".parse().unwrap();
-        let err = TxCheckerHost::install(&mut sim, &bus, "p", &p).unwrap_err();
-        assert_eq!(err, InstallError::WrongContext);
+        let (tracer, sink) = Tracer::memory();
+        sim.set_tracer(tracer);
+        let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b".parse().unwrap();
+        let checker = Checker::attach(&mut sim, "q3", &q3, Binding::bus(&bus)).unwrap();
+        sim.run_to_completion();
+        let _ = checker.finalize(&mut sim, 200);
+
+        let events = sink.borrow_mut().take_events();
+        let begins: Vec<_> = events.iter().filter(|e| e.phase == Phase::Begin).collect();
+        let ends = events.iter().filter(|e| e.phase == Phase::End).count();
+        assert_eq!(begins.len(), 1, "one checker-instance activation span");
+        assert_eq!(ends, 1, "the span is closed at resolution");
+        assert_eq!(begins[0].name, "q3");
+        assert_eq!(begins[0].ts_ns, 10, "activated at the write transaction");
+        let obligation = events
+            .iter()
+            .find(|e| e.name == "obligation")
+            .expect("table registration traced");
+        assert!(obligation
+            .args
+            .iter()
+            .any(|(k, v)| k == "deadline_ns" && *v == abv_obs::ArgValue::U64(180)));
+        assert!(events.iter().any(|e| e.name == "pass"));
+        assert!(
+            events.iter().any(|e| e.name == "vacuous"),
+            "the ds=0 read activation is vacuous"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.phase == Phase::Counter && e.name == desim::KERNEL_COUNTER_TRACK),
+            "kernel counter track present"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.phase == Phase::Meta && e.name == "thread_name"),
+            "property track is labelled"
+        );
     }
 
     #[test]

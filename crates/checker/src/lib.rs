@@ -25,8 +25,11 @@
 //!   activates a new instance at every transaction matching the
 //!   transaction context (Section IV, points 1–4).
 //!
-//! The per-host `install` entry points are deprecated shims kept for
-//! compatibility.
+//! When the simulation carries an enabled [`abv_obs::Tracer`], the whole
+//! wrapper lifecycle is emitted as structured trace events: one `B…E` span
+//! per checker instance (activation to pass/fail/timeout-fail), an
+//! `obligation` instant when an instance parks in the evaluation table,
+//! and named tracks per property and pool slot. See the `abv-obs` crate.
 //!
 //! On `ε` anchoring: Def. III.3 phrases `ε` relative to "the firing of the
 //! property"; for the nested occurrences produced by Algorithm III.1 inside
@@ -43,10 +46,6 @@ mod report;
 
 pub use attach::{Binding, Checker};
 pub use compile::{compile, CompileError};
-#[allow(deprecated)]
-pub use host::{
-    collect_clock_reports, collect_tx_reports, install_clock_checkers, install_tx_checkers,
-};
 pub use host::{ClockCheckerHost, InstallError, TxCheckerHost};
 pub use monitor::{PropertyChecker, WakePlan};
 pub use report::{

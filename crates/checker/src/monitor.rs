@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use abv_obs::{trace, TraceEvent, Tracer};
 use desim::SignalId;
 use psl::CmpOp;
 
@@ -283,6 +284,10 @@ pub struct PropertyChecker {
     use_table: bool,
     completion_bound_ns: Option<u64>,
     report: PropertyReport,
+    /// Base trace-track id: property-level events land here, instance
+    /// `slot` events on `trace_tid + 1 + slot`. Assigned at install time
+    /// from the host's component id so tracks are stable per build order.
+    trace_tid: u64,
 }
 
 impl PropertyChecker {
@@ -300,7 +305,24 @@ impl PropertyChecker {
             every: Vec::new(),
             use_table: true,
             completion_bound_ns: None,
+            trace_tid: 0,
         }
+    }
+
+    /// Sets the base trace-track id (see the `trace_tid` field).
+    pub(crate) fn set_trace_tid(&mut self, tid: u64) {
+        self.trace_tid = tid;
+    }
+
+    /// The trace track of property-level events (vacuous/immediate-fail
+    /// instants); instance `slot` lives on `trace_tid() + 1 + slot`.
+    #[must_use]
+    pub fn trace_tid(&self) -> u64 {
+        self.trace_tid
+    }
+
+    fn instance_tid(&self, slot: usize) -> u64 {
+        self.trace_tid + 1 + slot as u64
     }
 
     /// Records the property's completion bound (`t_end - t_fire`), when it
@@ -353,6 +375,16 @@ impl PropertyChecker {
     /// deadline passed, progression of due and every-event instances, and
     /// activation of a new instance.
     pub fn on_event(&mut self, read: &dyn Fn(SignalId) -> u64, now: u64) {
+        self.on_event_traced(read, now, &Tracer::disabled());
+    }
+
+    /// [`on_event`](PropertyChecker::on_event) with trace emission: the
+    /// wrapper's lifecycle becomes spans and instants on this property's
+    /// tracks — a `B…E` span per checker instance from activation to
+    /// resolution, `obligation` instants when an instance parks in the
+    /// evaluation table, `eval` instants per progression, and a
+    /// `pass`/`fail`/`timeout-fail` instant at resolution.
+    pub fn on_event_traced(&mut self, read: &dyn Fn(SignalId) -> u64, now: u64, tracer: &Tracer) {
         // Events not matching the context guard are invisible to this
         // property (Def. III.2).
         if let Some(guard) = &self.guard {
@@ -380,13 +412,13 @@ impl PropertyChecker {
             let slots = self.table.remove(&deadline).expect("key just observed");
             let missed = (deadline < now).then_some(deadline);
             for slot in slots {
-                self.step(slot, read, now, missed);
+                self.step(slot, read, now, missed, tracer);
             }
         }
 
         // 3. Instances that observe every event.
         for slot in every {
-            self.step(slot, read, now, None);
+            self.step(slot, read, now, None, tracer);
         }
 
         // 4. Activation of a new verification session.
@@ -396,20 +428,41 @@ impl PropertyChecker {
             let residual = progress(&self.body, read, now);
             self.report.evaluations += 1;
             match &*residual {
-                Mx::True => self.report.vacuous += 1,
+                Mx::True => {
+                    self.report.vacuous += 1;
+                    trace!(
+                        tracer,
+                        TraceEvent::instant("vacuous", 0, self.trace_tid, now)
+                    );
+                }
                 Mx::False => {
                     self.report.record_failure(Failure {
                         fire_ns: now,
                         fail_ns: now,
                         reason: FailReason::Violated,
                     });
+                    trace!(
+                        tracer,
+                        TraceEvent::instant("fail", 0, self.trace_tid, now)
+                            .with_arg("reason", "violated")
+                            .with_arg("fire_ns", now)
+                    );
                 }
                 _ => {
-                    let slot = self.alloc(Instance {
-                        residual: Rc::clone(&residual),
-                        fire_ns: now,
-                    });
-                    self.register(slot, &residual);
+                    let (slot, reused) = self.alloc(
+                        Instance {
+                            residual: Rc::clone(&residual),
+                            fire_ns: now,
+                        },
+                        tracer,
+                    );
+                    trace!(
+                        tracer,
+                        TraceEvent::span_begin(&self.name, 0, self.instance_tid(slot), now)
+                            .with_arg("slot", slot as u64)
+                            .with_arg("reused", u64::from(reused))
+                    );
+                    self.register(slot, &residual, now, tracer);
                 }
             }
         }
@@ -422,24 +475,39 @@ impl PropertyChecker {
     /// that become true complete, and everything still undetermined is
     /// counted as pending.
     pub fn finish(&mut self, end_ns: u64) {
+        self.finish_traced(end_ns, &Tracer::disabled());
+    }
+
+    /// [`finish`](PropertyChecker::finish) with trace emission: every
+    /// still-open instance span is closed at `end_ns` with a
+    /// `pass`/`fail`/`timeout-fail`/`pending` instant.
+    pub fn finish_traced(&mut self, end_ns: u64, tracer: &Tracer) {
         let table = std::mem::take(&mut self.table);
         let every = std::mem::take(&mut self.every);
         for slot in table.into_values().flatten().chain(every) {
-            let residual = Rc::clone(&self.pool[slot].as_ref().expect("live slot").residual);
+            let instance = self.pool[slot].as_ref().expect("live slot");
+            let fire_ns = instance.fire_ns;
+            let residual = Rc::clone(&instance.residual);
+            let tid = self.instance_tid(slot);
             match finish_eval(&residual, end_ns) {
                 Some(false) => {
                     let reason = match earliest_missed(&residual, end_ns) {
                         Some(deadline_ns) => FailReason::MissedDeadline { deadline_ns },
                         None => FailReason::Violated,
                     };
-                    self.fail(slot, end_ns, reason);
+                    self.fail(slot, end_ns, reason, tracer);
                 }
                 Some(true) => {
                     self.report.completions += 1;
+                    self.report.record_completion_latency(end_ns - fire_ns);
+                    trace!(tracer, TraceEvent::instant("pass", 0, tid, end_ns));
+                    trace!(tracer, TraceEvent::span_end(0, tid, end_ns));
                     self.release(slot);
                 }
                 None => {
                     self.report.pending += 1;
+                    trace!(tracer, TraceEvent::instant("pending", 0, tid, end_ns));
+                    trace!(tracer, TraceEvent::span_end(0, tid, end_ns));
                     self.release(slot);
                 }
             }
@@ -454,13 +522,26 @@ impl PropertyChecker {
         r
     }
 
-    fn step(&mut self, slot: usize, read: &dyn Fn(SignalId) -> u64, now: u64, missed: Option<u64>) {
+    fn step(
+        &mut self,
+        slot: usize,
+        read: &dyn Fn(SignalId) -> u64,
+        now: u64,
+        missed: Option<u64>,
+        tracer: &Tracer,
+    ) {
+        let tid = self.instance_tid(slot);
         let instance = self.pool[slot].as_mut().expect("live slot");
+        let fire_ns = instance.fire_ns;
         let residual = progress(&instance.residual, read, now);
         self.report.evaluations += 1;
+        trace!(tracer, TraceEvent::instant("eval", 0, tid, now));
         match &*residual {
             Mx::True => {
                 self.report.completions += 1;
+                self.report.record_completion_latency(now - fire_ns);
+                trace!(tracer, TraceEvent::instant("pass", 0, tid, now));
+                trace!(tracer, TraceEvent::span_end(0, tid, now));
                 self.release(slot);
             }
             Mx::False => {
@@ -468,37 +549,53 @@ impl PropertyChecker {
                     Some(deadline_ns) => FailReason::MissedDeadline { deadline_ns },
                     None => FailReason::Violated,
                 };
-                self.fail(slot, now, reason);
+                self.fail(slot, now, reason, tracer);
             }
             _ => {
                 instance.residual = Rc::clone(&residual);
-                self.register(slot, &residual);
+                self.register(slot, &residual, now, tracer);
             }
         }
     }
 
-    fn register(&mut self, slot: usize, residual: &M) {
+    fn register(&mut self, slot: usize, residual: &M, now: u64, tracer: &Tracer) {
         match wake_plan(residual) {
             WakePlan::AtTime(deadline) if self.use_table => {
+                trace!(
+                    tracer,
+                    TraceEvent::instant("obligation", 0, self.instance_tid(slot), now)
+                        .with_arg("deadline_ns", deadline)
+                );
                 self.table.entry(deadline).or_default().push(slot);
             }
             _ => self.every.push(slot),
         }
     }
 
-    fn alloc(&mut self, instance: Instance) -> usize {
-        let slot = match self.free.pop() {
+    fn alloc(&mut self, instance: Instance, tracer: &Tracer) -> (usize, bool) {
+        let (slot, reused) = match self.free.pop() {
             Some(slot) => {
                 self.pool[slot] = Some(instance);
-                slot
+                (slot, true)
             }
             None => {
                 self.pool.push(Some(instance));
-                self.pool.len() - 1
+                let slot = self.pool.len() - 1;
+                // Name the new instance track the first time the pool grows
+                // into it; reuses keep the label.
+                trace!(
+                    tracer,
+                    TraceEvent::thread_name(
+                        0,
+                        self.instance_tid(slot),
+                        &format!("{}#{slot}", self.name)
+                    )
+                );
+                (slot, false)
             }
         };
         self.report.max_live_instances = self.report.max_live_instances.max(self.live_instances());
-        slot
+        (slot, reused)
     }
 
     fn release(&mut self, slot: usize) {
@@ -506,13 +603,26 @@ impl PropertyChecker {
         self.free.push(slot);
     }
 
-    fn fail(&mut self, slot: usize, now: u64, reason: FailReason) {
+    fn fail(&mut self, slot: usize, now: u64, reason: FailReason, tracer: &Tracer) {
+        let tid = self.instance_tid(slot);
         let fire_ns = self.pool[slot].as_ref().expect("live slot").fire_ns;
         self.report.record_failure(Failure {
             fire_ns,
             fail_ns: now,
             reason,
         });
+        trace!(tracer, {
+            let (label, deadline) = match reason {
+                FailReason::MissedDeadline { deadline_ns } => ("timeout-fail", Some(deadline_ns)),
+                FailReason::Violated => ("fail", None),
+            };
+            let ev = TraceEvent::instant(label, 0, tid, now).with_arg("fire_ns", fire_ns);
+            match deadline {
+                Some(d) => ev.with_arg("deadline_ns", d),
+                None => ev,
+            }
+        });
+        trace!(tracer, TraceEvent::span_end(0, tid, now));
         self.release(slot);
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use abv_obs::Histogram;
+
 /// Why an instance failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailReason {
@@ -94,6 +96,15 @@ pub struct PropertyReport {
     pub max_live_instances: usize,
     /// Monitor progression steps performed (work measure).
     pub evaluations: u64,
+    /// Failures whose reason was a missed `next_ε^τ` deadline — the
+    /// wrapper's "expected evaluation time passed without a transaction"
+    /// case, split out from `failure_count` because it is the
+    /// abstraction-specific failure mode.
+    pub timeout_fails: u64,
+    /// Completion latency (`fail_ns`/completion time − `fire_ns`, in
+    /// nanoseconds) of instances that resolved successfully. Divide by the
+    /// reference clock period for the paper's cycle view.
+    pub latency: Histogram,
 }
 
 impl PropertyReport {
@@ -110,6 +121,8 @@ impl PropertyReport {
             pending: 0,
             max_live_instances: 0,
             evaluations: 0,
+            timeout_fails: 0,
+            latency: Histogram::new(),
         }
     }
 
@@ -125,9 +138,17 @@ impl PropertyReport {
 
     pub(crate) fn record_failure(&mut self, failure: Failure) {
         self.failure_count += 1;
+        if matches!(failure.reason, FailReason::MissedDeadline { .. }) {
+            self.timeout_fails += 1;
+        }
         if self.failures.len() < MAX_RECORDED_FAILURES {
             self.failures.push(failure);
         }
+    }
+
+    /// Records the completion latency of a successfully resolved instance.
+    pub(crate) fn record_completion_latency(&mut self, latency_ns: u64) {
+        self.latency.record(latency_ns);
     }
 
     /// Folds `other` — the same property observed over another run — into
@@ -160,6 +181,8 @@ impl PropertyReport {
         self.pending += other.pending;
         self.max_live_instances = self.max_live_instances.max(other.max_live_instances);
         self.evaluations += other.evaluations;
+        self.timeout_fails += other.timeout_fails;
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -324,6 +347,7 @@ mod tests {
             fail_ns: 2,
             reason: FailReason::Violated,
         });
+        a.record_completion_latency(170);
         let mut b = PropertyReport::new("p".into());
         b.activations = 3;
         b.vacuous = 1;
@@ -334,6 +358,7 @@ mod tests {
             fail_ns: 20,
             reason: FailReason::MissedDeadline { deadline_ns: 15 },
         });
+        b.record_completion_latency(340);
         a.merge(&b);
         assert_eq!(a.activations, 8);
         assert_eq!(a.vacuous, 1);
@@ -343,6 +368,9 @@ mod tests {
         assert_eq!(a.failures.len(), 2);
         assert_eq!(a.failures[1].fire_ns, 10);
         assert_eq!(a.max_live_instances, 7);
+        assert_eq!(a.timeout_fails, 1, "only b's failure missed a deadline");
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.latency.max(), 340);
     }
 
     #[test]

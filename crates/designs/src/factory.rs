@@ -297,6 +297,12 @@ impl BuiltDesign {
             (None, None) => unreachable!("every level offers a clock or a bus"),
         }
     }
+
+    /// Attaches a tracer to the instance's simulation. Call *before*
+    /// attaching checkers so their track-name metadata is recorded.
+    pub fn set_tracer(&mut self, tracer: abv_obs::Tracer) {
+        self.sim.set_tracer(tracer);
+    }
 }
 
 fn from_des_rtl(b: des56::RtlBuilt) -> BuiltDesign {

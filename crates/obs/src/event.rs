@@ -1,0 +1,293 @@
+//! Trace events in the Chrome trace-event vocabulary and their JSON
+//! rendering.
+//!
+//! The subset emitted here (`B`/`E` duration spans, `i` instants, `C`
+//! counters, `M` metadata) is the stable core that both `chrome://tracing`
+//! and `ui.perfetto.dev` load. Timestamps are carried in nanoseconds of
+//! simulation time and rendered as fractional microseconds (`ts` is a
+//! microsecond field in the format).
+
+use std::fmt::Write as _;
+
+/// The Chrome trace-event phase of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `B` — begin of a duration span on a `(pid, tid)` track.
+    Begin,
+    /// `E` — end of the innermost open span on a `(pid, tid)` track.
+    End,
+    /// `i` — a point event (rendered with thread scope).
+    Instant,
+    /// `C` — a counter sample; each arg is one series of the track.
+    Counter,
+    /// `M` — metadata (`process_name` / `thread_name` labels).
+    Meta,
+}
+
+impl Phase {
+    fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'i',
+            Phase::Counter => 'C',
+            Phase::Meta => 'M',
+        }
+    }
+}
+
+/// A typed argument value attached to a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An unsigned integer (counter series, slot indices, deadlines…).
+    U64(u64),
+    /// A string (names, verdicts, reasons…).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+/// One structured trace event.
+///
+/// `pid` groups tracks into a process row (one per design/run), `tid` is
+/// the track within it (one per property, plus one per live checker
+/// instance), and `ts_ns` is simulation time in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Chrome trace-event phase.
+    pub phase: Phase,
+    /// Event or span name (empty for `E` events).
+    pub name: String,
+    /// Process row: design / campaign run.
+    pub pid: u64,
+    /// Track within the process: property or checker instance.
+    pub tid: u64,
+    /// Simulation time in nanoseconds.
+    pub ts_ns: u64,
+    /// Typed key/value arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl TraceEvent {
+    fn new(phase: Phase, name: &str, pid: u64, tid: u64, ts_ns: u64) -> TraceEvent {
+        TraceEvent {
+            phase,
+            name: name.to_owned(),
+            pid,
+            tid,
+            ts_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// Opens a duration span on `(pid, tid)`.
+    #[must_use]
+    pub fn span_begin(name: &str, pid: u64, tid: u64, ts_ns: u64) -> TraceEvent {
+        TraceEvent::new(Phase::Begin, name, pid, tid, ts_ns)
+    }
+
+    /// Closes the innermost open span on `(pid, tid)`.
+    #[must_use]
+    pub fn span_end(pid: u64, tid: u64, ts_ns: u64) -> TraceEvent {
+        TraceEvent::new(Phase::End, "", pid, tid, ts_ns)
+    }
+
+    /// A point event on `(pid, tid)`.
+    #[must_use]
+    pub fn instant(name: &str, pid: u64, tid: u64, ts_ns: u64) -> TraceEvent {
+        TraceEvent::new(Phase::Instant, name, pid, tid, ts_ns)
+    }
+
+    /// A counter sample; attach one arg per series.
+    #[must_use]
+    pub fn counter(name: &str, pid: u64, tid: u64, ts_ns: u64) -> TraceEvent {
+        TraceEvent::new(Phase::Counter, name, pid, tid, ts_ns)
+    }
+
+    /// Labels process `pid` (`process_name` metadata).
+    #[must_use]
+    pub fn process_name(pid: u64, name: &str) -> TraceEvent {
+        TraceEvent::new(Phase::Meta, "process_name", pid, 0, 0).with_arg("name", name)
+    }
+
+    /// Labels track `(pid, tid)` (`thread_name` metadata).
+    #[must_use]
+    pub fn thread_name(pid: u64, tid: u64, name: &str) -> TraceEvent {
+        TraceEvent::new(Phase::Meta, "thread_name", pid, tid, 0).with_arg("name", name)
+    }
+
+    /// Attaches a typed argument (builder style).
+    #[must_use]
+    pub fn with_arg(mut self, key: &str, value: impl Into<ArgValue>) -> TraceEvent {
+        self.args.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Renders this event as one Chrome trace-event JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"{}\",\"name\":{},\"pid\":{},\"tid\":{},\"ts\":{}",
+            self.phase.code(),
+            json_string(&self.name),
+            self.pid,
+            self.tid,
+            MicroTs(self.ts_ns),
+        );
+        if self.phase == Phase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !self.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:", json_string(key));
+                match value {
+                    ArgValue::U64(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    ArgValue::Str(s) => out.push_str(&json_string(s)),
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Nanoseconds rendered as the format's microsecond `ts` field, with
+/// sub-microsecond precision kept as decimals (`1234` ns → `1.234`).
+struct MicroTs(u64);
+
+impl std::fmt::Display for MicroTs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let micros = self.0 / 1000;
+        let frac = self.0 % 1000;
+        if frac == 0 {
+            write!(f, "{micros}")
+        } else {
+            write!(f, "{micros}.{frac:03}")
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `events` as a complete Chrome trace-event JSON array, loadable
+/// in `ui.perfetto.dev` or `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 16);
+    out.push_str("[\n");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&event.to_json());
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_json_has_phase_ids_and_micro_ts() {
+        let ev = TraceEvent::span_begin("p0", 2, 7, 1_234_567);
+        assert_eq!(
+            ev.to_json(),
+            "{\"ph\":\"B\",\"name\":\"p0\",\"pid\":2,\"tid\":7,\"ts\":1234.567}"
+        );
+        let end = TraceEvent::span_end(2, 7, 2_000_000);
+        assert_eq!(
+            end.to_json(),
+            "{\"ph\":\"E\",\"name\":\"\",\"pid\":2,\"tid\":7,\"ts\":2000}"
+        );
+    }
+
+    #[test]
+    fn instant_carries_thread_scope_and_args() {
+        let ev = TraceEvent::instant("fail", 0, 1, 340)
+            .with_arg("reason", "missed-deadline")
+            .with_arg("deadline_ns", 340u64);
+        assert_eq!(
+            ev.to_json(),
+            "{\"ph\":\"i\",\"name\":\"fail\",\"pid\":0,\"tid\":1,\"ts\":0.340,\
+             \"s\":\"t\",\"args\":{\"reason\":\"missed-deadline\",\"deadline_ns\":340}}"
+        );
+    }
+
+    #[test]
+    fn counter_and_metadata_render() {
+        let c = TraceEvent::counter("kernel", 0, 0, 10_000).with_arg("events", 42u64);
+        assert!(c.to_json().contains("\"ph\":\"C\""));
+        assert!(c.to_json().contains("\"events\":42"));
+        let m = TraceEvent::process_name(3, "des56 tlm-at");
+        assert_eq!(
+            m.to_json(),
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":3,\"tid\":0,\"ts\":0,\
+             \"args\":{\"name\":\"des56 tlm-at\"}}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = TraceEvent::instant("a\"b\\c\n", 0, 0, 0);
+        assert!(ev.to_json().contains("a\\\"b\\\\c\\n"));
+    }
+
+    #[test]
+    fn array_is_well_formed() {
+        let events = vec![
+            TraceEvent::span_begin("x", 0, 0, 0),
+            TraceEvent::span_end(0, 0, 5),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert_eq!(json.matches("{\"ph\"").count(), 2);
+        assert_eq!(chrome_trace_json(&[]), "[\n\n]\n");
+    }
+}

@@ -1,0 +1,191 @@
+//! A log₂-bucketed histogram with an associative merge.
+
+/// Number of buckets: bucket `i` counts values `v` with `floor(log2(v)) == i-1`
+/// (bucket 0 counts zeros), so the full `u64` range fits.
+const BUCKETS: usize = 65;
+
+/// A metric histogram over `u64` samples (latencies in ns or cycles,
+/// occupancies…). Buckets are powers of two, which is plenty for the
+/// order-of-magnitude questions Table I asks, and makes the merge exact:
+/// `merge` is associative and commutative, so campaign shards can fold
+/// histograms in work-list order and get a worker-count-independent result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// True if no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into `self`. Associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates the non-empty buckets as `(lower_bound, upper_bound, count)`
+    /// with inclusive bounds — `(0, 0, n)` for zeros, then `(2^i, 2^(i+1)-1,
+    /// n)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| match i {
+                0 => (0, 0, n),
+                64 => (1 << 63, u64::MAX, n),
+                i => (1 << (i - 1), (1 << i) - 1, n),
+            })
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    /// Compact one-line rendering: `count=…, mean=…, max=…`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "empty");
+        }
+        write!(
+            f,
+            "count={} mean={:.1} max={}",
+            self.count,
+            self.mean().unwrap_or(0.0),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_log2_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 170, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),
+                (1, 1, 1),
+                (2, 3, 2),
+                (4, 7, 1),
+                (128, 255, 1),
+                (1 << 63, u64::MAX, 1),
+            ]
+        );
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in [1, 17, 170] {
+            a.record(v);
+        }
+        for v in [2, 34] {
+            b.record(v);
+        }
+        c.record(340);
+
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊔ b == b ⊔ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.sum(), 1 + 17 + 170 + 2 + 34);
+    }
+
+    #[test]
+    fn mean_and_display() {
+        let mut h = Histogram::new();
+        assert!(h.mean().is_none());
+        assert_eq!(h.to_string(), "empty");
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), Some(15.0));
+        assert_eq!(h.to_string(), "count=2 mean=15.0 max=20");
+    }
+}

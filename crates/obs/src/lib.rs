@@ -1,0 +1,66 @@
+//! Structured simulation tracing for the RTL-to-TLM verification flow.
+//!
+//! The paper's checker wrapper (Section IV) is a temporal mechanism — a
+//! bounded pool of checker instances, an evaluation table of
+//! `(time → instance)` obligations, and failures raised when an expected
+//! evaluation time passes without a transaction. This crate makes that
+//! behaviour observable as structured events without perturbing it:
+//!
+//! * [`TraceEvent`] — one span boundary, instant, or counter sample, in the
+//!   vocabulary of the Chrome trace-event format (`ph: B/E/i/C/M`).
+//! * [`TraceSink`] — where events go: [`NullSink`] (drop), [`MemorySink`]
+//!   (bounded ring buffer), or [`JsonStreamSink`] (streaming Chrome JSON).
+//! * [`Tracer`] — the cheap, clonable handle instrumented code holds. A
+//!   disabled tracer is a `None`; the [`trace!`] macro does not even
+//!   construct the event then, so the default path costs one branch.
+//! * [`Histogram`] — log₂-bucketed metric histogram with an associative
+//!   [`merge`](Histogram::merge), matching the campaign engine's
+//!   fold-in-work-list-order discipline.
+//! * [`chrome_trace_json`] — render recorded events as a JSON array that
+//!   `ui.perfetto.dev` and `chrome://tracing` load directly.
+//!
+//! All timestamps on trace events are **simulation time in nanoseconds**,
+//! never wall clock, so traces are deterministic: the same seeded run
+//! produces byte-identical JSON regardless of host speed or worker count.
+//!
+//! # Example
+//!
+//! ```
+//! use abv_obs::{chrome_trace_json, MemorySink, TraceEvent, Tracer};
+//!
+//! let (tracer, sink) = Tracer::memory();
+//! abv_obs::trace!(tracer, TraceEvent::span_begin("req", 0, 1, 10));
+//! abv_obs::trace!(tracer, TraceEvent::span_end(0, 1, 25));
+//! let events = sink.borrow_mut().take_events();
+//! assert_eq!(events.len(), 2);
+//! let json = chrome_trace_json(&events);
+//! assert!(json.starts_with('['));
+//! ```
+
+mod event;
+mod histogram;
+mod sink;
+mod tracer;
+
+pub use event::{chrome_trace_json, ArgValue, Phase, TraceEvent};
+pub use histogram::Histogram;
+pub use sink::{JsonStreamSink, MemorySink, NullSink, TraceSink};
+pub use tracer::{SharedSink, Tracer};
+
+/// Records an event iff the tracer is enabled. The event expression is not
+/// evaluated otherwise, so instrumentation sites cost a single branch when
+/// tracing is off.
+///
+/// ```
+/// # use abv_obs::{TraceEvent, Tracer};
+/// let tracer = Tracer::disabled();
+/// abv_obs::trace!(tracer, unreachable!("not evaluated when disabled"));
+/// ```
+#[macro_export]
+macro_rules! trace {
+    ($tracer:expr, $event:expr) => {
+        if $tracer.is_enabled() {
+            $tracer.record($event);
+        }
+    };
+}

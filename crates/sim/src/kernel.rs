@@ -2,6 +2,8 @@
 
 use std::any::Any;
 
+use abv_obs::{TraceEvent, Tracer};
+
 use crate::queue::EventQueue;
 use crate::signal::{SignalId, SignalStore};
 use crate::stats::SimStats;
@@ -10,6 +12,16 @@ use crate::time::SimTime;
 /// Handle of a component within a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ComponentId(pub(crate) usize);
+
+impl ComponentId {
+    /// The registration index of this component — stable for a given
+    /// simulation build order, which makes it usable as a deterministic
+    /// trace-track id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// An event delivered to a [`Component`].
 ///
@@ -44,6 +56,7 @@ pub struct SimCtx<'a> {
     self_id: ComponentId,
     signals: &'a mut SignalStore,
     queue: &'a mut EventQueue,
+    tracer: &'a Tracer,
 }
 
 impl SimCtx<'_> {
@@ -57,6 +70,14 @@ impl SimCtx<'_> {
     #[must_use]
     pub fn self_id(&self) -> ComponentId {
         self.self_id
+    }
+
+    /// The simulation's tracer — disabled by default; components use it
+    /// (via [`abv_obs::trace!`]) to emit structured events on the shared
+    /// timeline.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        self.tracer
     }
 
     /// Current value of a signal.
@@ -109,7 +130,12 @@ pub struct Simulation {
     now: SimTime,
     last_timestamp: Option<SimTime>,
     stats: SimStats,
+    tracer: Tracer,
 }
+
+/// The kernel counter track: cumulative [`SimStats`] sampled at every
+/// timestamp boundary, on `(pid 0, tid 0)`.
+pub const KERNEL_COUNTER_TRACK: &str = "kernel";
 
 impl Simulation {
     /// Creates an empty simulation at time zero.
@@ -217,6 +243,30 @@ impl Simulation {
         &self.stats
     }
 
+    /// Attaches a tracer; the kernel then emits its counter track and
+    /// components see the tracer through [`SimCtx::tracer`]. The default is
+    /// [`Tracer::disabled`], which costs one branch per timestamp.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The simulation's tracer (disabled by default).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Emits one cumulative kernel-counter sample at `at`.
+    fn trace_counters(&self, at: SimTime) {
+        abv_obs::trace!(
+            self.tracer,
+            TraceEvent::counter(KERNEL_COUNTER_TRACK, 0, 0, at.as_ns())
+                .with_arg("events", self.stats.events_processed)
+                .with_arg("deltas", self.stats.delta_cycles)
+                .with_arg("signal_changes", self.stats.signal_changes)
+        );
+    }
+
     /// Runs until the event queue drains or the next event lies beyond
     /// `end`, whichever comes first. Events exactly at `end` are processed.
     /// Returns the accumulated statistics.
@@ -234,6 +284,7 @@ impl Simulation {
             if self.last_timestamp != Some(t) {
                 self.last_timestamp = Some(t);
                 self.stats.timestamps += 1;
+                self.trace_counters(t);
             }
             if t > self.now {
                 self.now = t;
@@ -250,6 +301,7 @@ impl Simulation {
                     self_id: entry.target,
                     signals: &mut self.signals,
                     queue: &mut self.queue,
+                    tracer: &self.tracer,
                 };
                 component.handle(
                     Event {
@@ -273,6 +325,10 @@ impl Simulation {
                 self.stats.signal_changes += changes as u64;
             }
             self.stats.delta_cycles += 1;
+        }
+        // Final sample so the counter track covers the whole run.
+        if let Some(last) = self.last_timestamp {
+            self.trace_counters(last);
         }
         self.stats
     }

@@ -51,7 +51,7 @@ mod signal;
 mod stats;
 mod time;
 
-pub use kernel::{Component, ComponentId, Event, SimCtx, Simulation};
+pub use kernel::{Component, ComponentId, Event, SimCtx, Simulation, KERNEL_COUNTER_TRACK};
 pub use signal::SignalId;
 pub use stats::SimStats;
 pub use time::SimTime;

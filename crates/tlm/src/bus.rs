@@ -3,9 +3,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use abv_obs::{trace, TraceEvent};
 use desim::{ComponentId, SimCtx};
 
 use crate::transaction::Transaction;
+
+/// The trace track (`tid`) carrying one instant per published transaction.
+pub const TX_TRACE_TRACK: u64 = 1;
 
 #[derive(Debug, Default)]
 struct BusInner {
@@ -56,6 +60,13 @@ impl TransactionBus {
     /// evaluate phase, so observers see the committed post-transaction
     /// state.
     pub fn publish(&self, ctx: &mut SimCtx<'_>, tx: Transaction) {
+        trace!(
+            ctx.tracer(),
+            TraceEvent::instant("tx", 0, TX_TRACE_TRACK, tx.end_time.as_ns())
+                .with_arg("kind", tx.kind.to_string())
+                .with_arg("addr", tx.addr)
+                .with_arg("data", tx.data)
+        );
         let mut inner = self.inner.borrow_mut();
         inner.last = Some(tx);
         inner.published += 1;

@@ -25,6 +25,6 @@ mod bus;
 mod recorder;
 mod transaction;
 
-pub use bus::TransactionBus;
+pub use bus::{TransactionBus, TX_TRACE_TRACK};
 pub use recorder::TxTraceRecorder;
 pub use transaction::{CodingStyle, Transaction, TxKind};

@@ -1,109 +1,141 @@
-//! Fig. 5 walk-through: the evolution of the TLM wrapper for property
-//! `q3 = always (!ds || next_et[1,170] rdy) @T_b`, printed transaction by
-//! transaction — activations, table registrations, completions, and the
-//! failure raised when a transaction arrives past an unconsumed
-//! evaluation point.
+//! End-to-end tour of the structured tracing layer on DES56 @ TLM-AT:
+//! attach the abstracted suite, record every span/instant/counter into a
+//! memory sink, and replay the checker-instance lifecycle — activation,
+//! `next_ε^τ` obligation registration, evaluation, pass — from the
+//! recorded events. A second run injects a latency fault so the same
+//! tracks show the wrapper's timeout-fail (missed evaluation instant)
+//! case. This is the dynamic version of the paper's Fig. 5 wrapper
+//! walk-through; `rtl2tlm trace` exports the same stream as Chrome
+//! trace-event JSON for ui.perfetto.dev.
 //!
 //! ```text
 //! cargo run --example wrapper_trace
 //! ```
 
-use abv_checker::{Binding, Checker};
-use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
-use psl::ClockedProperty;
-use tlmkit::{Transaction, TransactionBus};
+use std::collections::HashMap;
 
-/// Replays a scripted `(time, ds, rdy)` transaction stream.
-struct ScriptedModel {
-    bus: TransactionBus,
-    ds: SignalId,
-    rdy: SignalId,
-    script: Vec<(u64, u64, u64)>,
-    next: usize,
+use abv_checker::{CheckReport, Checker};
+use abv_obs::{chrome_trace_json, ArgValue, Phase, TraceEvent, Tracer};
+use designs::{AbsLevel, DesignKind, Fault};
+
+/// Builds DES56 at TLM-AT, runs it traced under the full abstracted
+/// suite, and returns the recorded events plus the checker report.
+fn traced_run(fault: Fault) -> (Vec<TraceEvent>, CheckReport) {
+    let props = designs::properties_at(DesignKind::Des56, AbsLevel::TlmAt);
+    let mut built =
+        designs::build(DesignKind::Des56, AbsLevel::TlmAt, 6, 2015, fault).expect("builds");
+    // Tracer first, so checker track metadata lands in the stream.
+    let (tracer, sink) = Tracer::memory();
+    built.set_tracer(tracer);
+    let binding = built.binding();
+    let checkers = Checker::attach_all(&mut built.sim, &props, binding).expect("attaches");
+    built.run();
+    let end = built.end_ns;
+    let report = Checker::collect(&mut built.sim, &checkers, end);
+    let events = sink.borrow_mut().take_events();
+    (events, report)
 }
 
-impl Component for ScriptedModel {
-    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
-        let (_, ds, rdy) = self.script[self.next];
-        ctx.write(self.ds, ds);
-        ctx.write(self.rdy, rdy);
-        self.bus.publish(ctx, Transaction::write(0, 0, ev.time));
-        self.next += 1;
-        if let Some(&(t, _, _)) = self.script.get(self.next) {
-            ctx.schedule_self(t - ev.time.as_ns(), 0);
+/// Track labels recorded as `thread_name` metadata, keyed by tid.
+fn track_names(events: &[TraceEvent]) -> HashMap<u64, String> {
+    events
+        .iter()
+        .filter(|e| e.phase == Phase::Meta && e.name == "thread_name")
+        .filter_map(|e| match e.args.first() {
+            Some((_, ArgValue::Str(name))) => Some((e.tid, name.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Prints the lifecycle events of every track whose label starts with
+/// `property` (the base track plus its per-instance tracks).
+fn render_property(events: &[TraceEvent], names: &HashMap<u64, String>, property: &str) {
+    let mut open: HashMap<u64, u64> = HashMap::new();
+    for ev in events {
+        let Some(track) = names.get(&ev.tid) else {
+            continue;
+        };
+        if !track.starts_with(property) {
+            continue;
+        }
+        let args: Vec<String> = ev
+            .args
+            .iter()
+            .map(|(k, v)| match v {
+                ArgValue::U64(n) => format!("{k}={n}"),
+                ArgValue::Str(s) => format!("{k}={s}"),
+            })
+            .collect();
+        match ev.phase {
+            Phase::Begin => {
+                open.insert(ev.tid, ev.ts_ns);
+                println!(
+                    "  @{:>5}ns  {track:<6} activate [{}]",
+                    ev.ts_ns,
+                    args.join(", ")
+                );
+            }
+            Phase::End => {
+                let lived = open
+                    .remove(&ev.tid)
+                    .map_or_else(String::new, |t0| format!(" (lived {}ns)", ev.ts_ns - t0));
+                println!("  @{:>5}ns  {track:<6} retire{lived}", ev.ts_ns);
+            }
+            Phase::Instant => {
+                println!(
+                    "  @{:>5}ns  {track:<6} {} [{}]",
+                    ev.ts_ns,
+                    ev.name,
+                    args.join(", ")
+                );
+            }
+            Phase::Counter | Phase::Meta => {}
         }
     }
 }
 
-/// Prints the wrapper state after each transaction.
-struct Narrator {
-    bus: TransactionBus,
-    host: desim::ComponentId,
-    ds: SignalId,
-    rdy: SignalId,
-}
-
-impl Component for Narrator {
-    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
-        let _ = &self.bus;
-        let _ = self.host;
+fn print_metrics(report: &CheckReport) {
+    for p in &report.properties {
         println!(
-            "  tx @{:>4}ns  ds={} rdy={}",
-            ev.time.as_ns(),
-            ctx.read(self.ds),
-            ctx.read(self.rdy)
+            "  {:<4} activations={:<3} peak-live={:<2} timeout-fails={:<2} latency[{}]",
+            p.name, p.activations, p.max_live_instances, p.timeout_fails, p.latency
         );
     }
 }
 
 fn main() {
-    println!("Wrapper evolution for q3 = always (!ds || next_et[1,170] rdy) @T_b");
-    println!("(compare with the paper's Fig. 5)\n");
+    println!("Checker-lifecycle tracing on DES56 @ TLM-AT (cf. paper Fig. 5)");
+    println!("==============================================================\n");
 
-    // ds fires at 170ns; transactions every 10ns up to 330ns; the instant
-    // 340ns (= 170 + 170) has NO transaction; the next one is at 350ns.
-    let mut script: Vec<(u64, u64, u64)> = Vec::new();
-    for t in (170..=330).step_by(10) {
-        script.push((t, u64::from(t == 170), 0));
-    }
-    script.push((350, 0, 1));
+    let (events, report) = traced_run(Fault::None);
+    let names = track_names(&events);
 
-    let mut sim = Simulation::new();
-    let bus = TransactionBus::new();
-    let ds = sim.add_signal("ds", 0);
-    let rdy = sim.add_signal("rdy", 0);
-    let first = script[0].0;
-    let model = sim.add_component(ScriptedModel {
-        bus: bus.clone(),
-        ds,
-        rdy,
-        script,
-        next: 0,
-    });
-    sim.schedule(SimTime::from_ns(first), model, 0);
+    println!("fault-free run, property p4 = always (!ds || next_et[1,170] rdy) @T_b:");
+    println!("(span begin = instance allocated from the pool, span end = slot freed)\n");
+    render_property(&events, &names, "p4");
 
-    let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b"
-        .parse()
-        .expect("parses");
-    let checker = Checker::attach(&mut sim, "q3", &q3, Binding::bus(&bus)).expect("attaches");
+    println!("\nper-property metrics (fault-free):");
+    print_metrics(&report);
 
-    let narrator = sim.add_component(Narrator {
-        bus: bus.clone(),
-        host: checker.component_id(),
-        ds,
-        rdy,
-    });
-    bus.subscribe(narrator, 9);
+    let (fault_events, fault_report) = traced_run(Fault::LatencyShort);
+    let fault_names = track_names(&fault_events);
+    println!("\nsame run with Fault::LatencyShort injected — p4's obligations now");
+    println!("miss their registered evaluation instants (Fig. 5's C[3] case):\n");
+    render_property(&fault_events, &fault_names, "p4");
 
-    sim.run_to_completion();
-    let end = sim.now().as_ns();
-    let report = checker.finalize(&mut sim, end);
+    println!("\nper-property metrics (faulty):");
+    print_metrics(&fault_report);
 
-    println!("\n{report}");
-    println!("\nfirst failure: {}", report.failures[0]);
+    let json = chrome_trace_json(&fault_events);
+    let preview: Vec<&str> = json.lines().take(4).collect();
     println!(
-        "\nThe firing at 170ns registered evaluation point 340ns in the\n\
-         wrapper's table; the next transaction only arrived at 350ns, so the\n\
-         wrapper raised the failure — exactly the C[3] case of Fig. 5."
+        "\nThe same stream exports as Chrome trace-event JSON ({} events;\n\
+         see `rtl2tlm trace --design des56 --level tlm-at --out trace.json`):\n",
+        fault_events.len()
     );
+    for line in preview {
+        println!("  {line}");
+    }
+    println!("  ...");
 }

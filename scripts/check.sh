@@ -17,4 +17,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --test trace_determinism"
+cargo test -q --test trace_determinism
+
+echo "==> cargo doc --no-deps -p abv-obs (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abv-obs
+
 echo "All checks passed."

@@ -7,7 +7,9 @@
 //!              [--requests N] [--seed N] [--vcd PATH]
 //! rtl2tlm campaign [--design D] [--level L] [--runs N] [--workers N]
 //!                  [--size N] [--seed N] [--checkers with|without|both|N]
-//!                  [--deterministic]
+//!                  [--deterministic] [--trace PATH]
+//! rtl2tlm trace [--design D] [--level L] [--requests N] [--seed N]
+//!               --out PATH
 //! ```
 //!
 //! Property files contain one `name: property` per line; `#` starts a
@@ -15,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use rtl2tlm_abv::cli::{self, CampaignParams, CliError, DemoParams};
+use rtl2tlm_abv::cli::{self, CampaignParams, CliError, DemoParams, TraceParams};
 
 const USAGE: &str = "\
 rtl2tlm — RTL-to-TLM property abstraction (DATE 2015 reproduction)
@@ -28,6 +30,10 @@ USAGE:
                      [--level rtl|tlm-ca|tlm-at|tlm-at-bulk]
                      [--runs N] [--workers N] [--size N] [--seed N]
                      [--checkers with|without|both|N] [--deterministic]
+                     [--trace PATH]
+    rtl2tlm trace [--design des56|colorconv|fir]
+                  [--level rtl|tlm-ca|tlm-at|tlm-at-bulk]
+                  [--requests N] [--seed N] --out PATH
 
 COMMANDS:
     abstract   Abstract the RTL properties in <file> (one `name: property`
@@ -37,7 +43,12 @@ COMMANDS:
     campaign   Run a seeded multi-run verification campaign sharded across
                worker threads and print the merged report; the part above
                `timing:` is identical for any --workers value
-               (--deterministic prints only that part).
+               (--deterministic prints only that part). --trace writes
+               the merged per-run trace as Chrome trace-event JSON.
+    trace      Run one traced simulation with the full checker suite and
+               write the checker-lifecycle spans, kernel counters and
+               transaction instants as Chrome trace-event JSON (load the
+               file in ui.perfetto.dev or chrome://tracing).
 ";
 
 fn main() -> ExitCode {
@@ -59,6 +70,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
         Some("abstract") => run_abstract(&args[1..]),
         Some("demo") => run_demo(&args[1..]),
         Some("campaign") => run_campaign(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
         Some("--help" | "-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -129,11 +141,31 @@ fn run_campaign(args: &[String]) -> Result<String, CliError> {
             "--seed" => params.seed = parse_num(&next_value(&mut it, arg)?, arg)?,
             "--checkers" => params.checkers = next_value(&mut it, arg)?,
             "--deterministic" => params.deterministic = true,
+            "--trace" => params.trace = Some(next_value(&mut it, arg)?),
             "--help" | "-h" => return Ok(USAGE.to_owned()),
             other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
         }
     }
     cli::run_campaign(&params)
+}
+
+fn run_trace(args: &[String]) -> Result<String, CliError> {
+    let mut params = TraceParams::default();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--design" => params.design = next_value(&mut it, arg)?,
+            "--level" => params.level = next_value(&mut it, arg)?,
+            "--requests" => params.requests = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--seed" => params.seed = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--out" => out = Some(next_value(&mut it, arg)?),
+            "--help" | "-h" => return Ok(USAGE.to_owned()),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    params.out = out.ok_or_else(|| CliError::Usage("trace requires --out PATH".into()))?;
+    cli::run_trace(&params)
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {

@@ -9,16 +9,21 @@
 //!   optionally dumping a VCD waveform;
 //! - `campaign`: expand a design/level/checker grid into a seeded
 //!   multi-run verification campaign, shard it across worker threads and
-//!   print the merged report.
+//!   print the merged report (optionally with a merged trace via
+//!   `--trace`);
+//! - `trace`: run one traced simulation and export the checker-lifecycle
+//!   spans, kernel counters and transaction instants as Chrome
+//!   trace-event JSON for `ui.perfetto.dev` / `chrome://tracing`.
 //!
 //! The parsing/reporting logic lives here (unit-tested); the binary in
 //! `src/bin/rtl2tlm.rs` is a thin wrapper.
 
 use std::fmt::Write as _;
 
-use abv_campaign::{CampaignPlan, CheckerMode};
+use abv_campaign::{CampaignPlan, CheckerMode, TraceSettings};
 use abv_checker::{Binding, CheckReport, Checker};
 use abv_core::{abstract_property, AbstractionConfig};
+use abv_obs::{chrome_trace_json, TraceEvent, Tracer};
 use designs::{colorconv, des56, SuiteEntry, CLOCK_PERIOD_NS};
 use psl::{ClockEdge, ClockedProperty};
 use rtlkit::WaveRecorder;
@@ -358,6 +363,11 @@ pub struct CampaignParams {
     /// Print only the scheduling-independent summary (for diffing the
     /// merged result across `--workers` values).
     pub deterministic: bool,
+    /// Optional Chrome trace-event JSON output path for the merged
+    /// campaign trace (one trace process per run). With
+    /// `deterministic`, wall-clock annotations are omitted so the file
+    /// is byte-identical across `--workers` values.
+    pub trace: Option<String>,
 }
 
 impl Default for CampaignParams {
@@ -371,6 +381,7 @@ impl Default for CampaignParams {
             seed: 2015,
             checkers: "with".to_owned(),
             deterministic: false,
+            trace: None,
         }
     }
 }
@@ -410,13 +421,104 @@ pub fn run_campaign(params: &CampaignParams) -> Result<String, CliError> {
     for mode in modes {
         plan = plan.cell(design, level, mode);
     }
-    let report = abv_campaign::run_campaign(&plan, params.workers)
+    let settings = match (&params.trace, params.deterministic) {
+        (None, _) => TraceSettings::off(),
+        (Some(_), true) => TraceSettings::deterministic(),
+        (Some(_), false) => TraceSettings::on(),
+    };
+    let report = abv_campaign::run_campaign_with(&plan, params.workers, settings)
         .map_err(|e| CliError::Usage(e.to_string()))?;
+    if let Some(path) = &params.trace {
+        std::fs::write(path, chrome_trace_json(&report.trace))
+            .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+    }
     if params.deterministic {
         Ok(report.deterministic_summary())
     } else {
         Ok(report.to_string())
     }
+}
+
+/// Parameters of the `trace` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParams {
+    /// `des56`, `colorconv` or `fir`.
+    pub design: String,
+    /// `rtl`, `tlm-ca`, `tlm-at` or `tlm-at-bulk`.
+    pub level: String,
+    /// Number of workload requests.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Chrome trace-event JSON output path.
+    pub out: String,
+}
+
+impl Default for TraceParams {
+    fn default() -> TraceParams {
+        TraceParams {
+            design: "des56".to_owned(),
+            level: "tlm-at".to_owned(),
+            requests: 16,
+            seed: 2015,
+            out: "trace.json".to_owned(),
+        }
+    }
+}
+
+/// Runs the `trace` command: one fault-free simulation of the chosen
+/// design/level with its full checker suite attached and a memory tracer
+/// recording every span, instant and counter sample. The stream is
+/// written as Chrome trace-event JSON and the checker report is returned
+/// alongside a pointer to the file.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown designs/levels, suites that
+/// do not attach, and output files that cannot be written.
+pub fn run_trace(params: &TraceParams) -> Result<String, CliError> {
+    let design = designs::DesignKind::parse(&params.design).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown design `{}` (expected des56, colorconv or fir)",
+            params.design
+        ))
+    })?;
+    let level = designs::AbsLevel::parse(&params.level).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown level `{}` (expected rtl, tlm-ca, tlm-at or tlm-at-bulk)",
+            params.level
+        ))
+    })?;
+    let props = designs::properties_at(design, level);
+    let mut built = designs::build(
+        design,
+        level,
+        params.requests,
+        params.seed,
+        designs::Fault::None,
+    )
+    .map_err(|e| CliError::Usage(e.to_string()))?;
+    // Tracer first, so checker track metadata lands in the stream.
+    let (tracer, sink) = Tracer::memory();
+    built.set_tracer(tracer);
+    let binding = built.binding();
+    let checkers = Checker::attach_all(&mut built.sim, &props, binding)
+        .map_err(|(i, e)| CliError::Usage(format!("property {i}: {e}")))?;
+    built.run();
+    let end = built.end_ns;
+    let report = Checker::collect(&mut built.sim, &checkers, end);
+    let label = format!("{} @ {}", design.label(), level.label());
+    let mut events = vec![TraceEvent::process_name(0, &label)];
+    events.extend(sink.borrow_mut().take_events());
+    std::fs::write(&params.out, chrome_trace_json(&events))
+        .map_err(|e| CliError::Usage(format!("cannot write `{}`: {e}", params.out)))?;
+    let mut out = format!(
+        "wrote {} trace events to {} (load in ui.perfetto.dev or chrome://tracing)\n",
+        events.len(),
+        params.out
+    );
+    let _ = write!(out, "{}", render_report(&label, &report));
+    Ok(out)
 }
 
 fn dump_vcd<S: AsRef<str>>(
@@ -463,6 +565,7 @@ mod tests {
             seed: 7,
             checkers: "with".to_owned(),
             deterministic: false,
+            trace: None,
         };
         let out = run_campaign(&params).unwrap();
         assert!(out.contains("campaign ColorConv @ TLM-CA"), "{out}");
@@ -481,6 +584,7 @@ mod tests {
             seed: 11,
             checkers: "both".to_owned(),
             deterministic: true,
+            trace: None,
         };
         let solo = run_campaign(&params).unwrap();
         params.workers = 4;
@@ -619,6 +723,71 @@ mod tests {
             ..DemoParams::default()
         };
         assert!(matches!(run_demo(&params), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn trace_command_writes_chrome_trace_json() {
+        let dir = std::env::temp_dir().join("rtl2tlm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let params = TraceParams {
+            requests: 4,
+            out: path.to_string_lossy().into_owned(),
+            ..TraceParams::default()
+        };
+        let out = run_trace(&params).unwrap();
+        assert!(out.contains("trace events"), "{out}");
+        assert!(out.contains("DES56 @ TLM-AT"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("[\n") && json.ends_with("\n]\n"), "{json}");
+        // Every checker-instance span that opened also closed.
+        let begins = json.matches("\"ph\":\"B\"").count();
+        assert!(begins > 0, "{json}");
+        assert_eq!(begins, json.matches("\"ph\":\"E\"").count(), "{json}");
+        // Kernel counter track and process/track labels are present.
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"process_name\""), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn campaign_trace_gets_one_process_per_run() {
+        let dir = std::env::temp_dir().join("rtl2tlm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign_trace.json");
+        let params = CampaignParams {
+            design: "des56".to_owned(),
+            level: "tlm-at".to_owned(),
+            runs: 2,
+            workers: 2,
+            size: 4,
+            seed: 3,
+            checkers: "with".to_owned(),
+            deterministic: true,
+            trace: Some(path.to_string_lossy().into_owned()),
+        };
+        run_campaign(&params).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"name\":\"run\""), "{json}");
+        assert!(json.contains("\"pid\":0"), "{json}");
+        assert!(json.contains("\"pid\":1"), "{json}");
+        assert!(!json.contains("wall_us"), "deterministic trace: {json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_rejects_unknown_inputs() {
+        let params = TraceParams {
+            design: "nope".to_owned(),
+            ..TraceParams::default()
+        };
+        assert!(matches!(run_trace(&params), Err(CliError::Usage(_))));
+        let params = TraceParams {
+            level: "gate".to_owned(),
+            ..TraceParams::default()
+        };
+        assert!(matches!(run_trace(&params), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Per-property instance metrics, end to end: the DES56 latency-17
+//! property `p4 = always (!ds || next[17] rdy) @clk_pos` driven through
+//! the real attach/finalize flow. Under back-to-back requests (a firing
+//! at every clock edge) the checker-instance pool must climb to the
+//! paper's static lifetime bound — 170 ns of instance lifetime over a
+//! 10 ns clock = 17 concurrent instances (Section IV, point 1) — while
+//! the default sparse workloads reuse a single slot, and an injected
+//! latency fault shows up in the dedicated timeout-fail counter.
+
+use abv_checker::{Binding, Checker};
+use designs::{AbsLevel, DesignKind, Fault, CLOCK_PERIOD_NS};
+use desim::{Component, Event, SignalId, SimCtx, SimTime, Simulation};
+use rtlkit::{Clock, EdgeDetector};
+
+const FIRST_EDGE: u64 = 2;
+const LATENCY: u64 = 17;
+
+/// A perfectly pipelined latency-17 responder: `ds` strobes on
+/// `requests` consecutive rising edges and each request's `rdy` answers
+/// exactly 17 edges later — the overlap the non-pipelined DES56 core
+/// cannot produce, and precisely the scenario the paper sizes the
+/// checker-instance array for. Inputs are written at falling edges so
+/// the rising-edge sample sees them stable (same discipline as the DES56
+/// RTL testbench).
+struct PipelinedStub {
+    clk: SignalId,
+    det: EdgeDetector,
+    ds: SignalId,
+    rdy: SignalId,
+    requests: u64,
+}
+
+impl Component for PipelinedStub {
+    fn handle(&mut self, ev: Event, ctx: &mut SimCtx<'_>) {
+        let v = ctx.read(self.clk);
+        if !self.det.is_falling(v) {
+            return;
+        }
+        // Falling edge at k·period + period/2 prepares rising edge k+1.
+        let edge = ev.time.as_ns() / CLOCK_PERIOD_NS + 1;
+        let ds_on = edge >= FIRST_EDGE && edge < FIRST_EDGE + self.requests;
+        let rdy_on = edge >= FIRST_EDGE + LATENCY && edge < FIRST_EDGE + LATENCY + self.requests;
+        ctx.write(self.ds, u64::from(ds_on));
+        ctx.write(self.rdy, u64::from(rdy_on));
+    }
+}
+
+/// The real p4 from the DES56 suite at the requested level.
+fn p4_at(level: AbsLevel) -> (String, psl::ClockedProperty) {
+    designs::properties_at(DesignKind::Des56, level)
+        .into_iter()
+        .find(|(name, _)| name == "p4")
+        .expect("the DES56 suite defines p4")
+}
+
+#[test]
+fn back_to_back_requests_fill_the_pool_to_the_lifetime_bound() {
+    let requests = 40u64;
+    let mut sim = Simulation::new();
+    let clk = Clock::install(&mut sim, "clk", CLOCK_PERIOD_NS);
+    let ds = sim.add_signal("ds", 0);
+    let rdy = sim.add_signal("rdy", 0);
+    let stub = sim.add_component(PipelinedStub {
+        clk: clk.signal,
+        det: EdgeDetector::new(),
+        ds,
+        rdy,
+        requests,
+    });
+    sim.subscribe(clk.signal, stub, 0);
+
+    let (name, p4) = p4_at(AbsLevel::Rtl);
+    let checker = Checker::attach(&mut sim, &name, &p4, Binding::clock(clk.signal))
+        .expect("p4 attaches at a clock binding");
+
+    let end_ns = (FIRST_EDGE + LATENCY + requests + 2) * CLOCK_PERIOD_NS;
+    sim.run_until(SimTime::from_ns(end_ns));
+    let report = checker.finalize(&mut sim, end_ns);
+
+    assert_eq!(report.completions, requests, "{report}");
+    assert_eq!(report.failure_count, 0, "{report}");
+    // 170 ns of lifetime on a 10 ns clock: 17 overlapping instances (one
+    // more may be live transiently at the completion edge).
+    assert!(
+        (17..=18).contains(&report.max_live_instances),
+        "pool occupancy {} does not match the paper's bound of 17",
+        report.max_live_instances
+    );
+    // Every instance resolved exactly one design latency after firing.
+    assert_eq!(report.latency.count(), requests);
+    assert_eq!(report.latency.max(), LATENCY * CLOCK_PERIOD_NS);
+    assert_eq!(report.timeout_fails, 0);
+}
+
+#[test]
+fn sparse_workload_reuses_a_single_slot() {
+    // The stock DES56 RTL workload spaces requests 20 cycles apart —
+    // wider than the 17-cycle lifetime — so the pool never grows past 1.
+    let mut built =
+        designs::build(DesignKind::Des56, AbsLevel::Rtl, 4, 7, Fault::None).expect("builds");
+    let (name, p4) = p4_at(AbsLevel::Rtl);
+    let binding = built.binding();
+    let checkers = Checker::attach_all(&mut built.sim, &[(name, p4)], binding).expect("attaches");
+    built.run();
+    let end = built.end_ns;
+    let report = Checker::collect(&mut built.sim, &checkers, end);
+    let p4 = report.property("p4").expect("collected");
+    assert_eq!(p4.completions, 4, "{p4}");
+    assert_eq!(p4.max_live_instances, 1, "slot is reset and reused: {p4}");
+    assert_eq!(p4.latency.max(), LATENCY * CLOCK_PERIOD_NS);
+}
+
+#[test]
+fn latency_fault_lands_in_the_timeout_fail_counter() {
+    // At TLM-AT the abstracted p4 carries `next_ε^τ` deadlines; a
+    // latency-short core completes before the registered evaluation
+    // instant, so every failure is a missed deadline — the
+    // abstraction-specific failure mode split out by `timeout_fails`.
+    let props = designs::properties_at(DesignKind::Des56, AbsLevel::TlmAt);
+    let mut built = designs::build(
+        DesignKind::Des56,
+        AbsLevel::TlmAt,
+        5,
+        11,
+        Fault::LatencyShort,
+    )
+    .expect("builds");
+    let binding = built.binding();
+    let checkers = Checker::attach_all(&mut built.sim, &props, binding).expect("attaches");
+    built.run();
+    let end = built.end_ns;
+    let report = Checker::collect(&mut built.sim, &checkers, end);
+    let p4 = report.property("p4").expect("collected");
+    assert!(p4.timeout_fails > 0, "{p4}");
+    assert_eq!(
+        p4.timeout_fails, p4.failure_count,
+        "all p4 failures at AT are missed deadlines: {p4}"
+    );
+
+    // The fault-free reference keeps the counter at zero.
+    let mut clean =
+        designs::build(DesignKind::Des56, AbsLevel::TlmAt, 5, 11, Fault::None).expect("builds");
+    let binding = clean.binding();
+    let checkers = Checker::attach_all(&mut clean.sim, &props, binding).expect("attaches");
+    clean.run();
+    let end = clean.end_ns;
+    let clean_report = Checker::collect(&mut clean.sim, &checkers, end);
+    assert_eq!(
+        clean_report
+            .property("p4")
+            .expect("collected")
+            .timeout_fails,
+        0
+    );
+}
