@@ -104,12 +104,12 @@ impl CellReport {
                 .iter()
                 .find(|p| p.failure_count > 0)
             {
-                if let Some(&failure) = property.failures.first() {
+                if let Some(failure) = property.failures.first() {
                     self.first_failure = Some(FirstFailure {
                         rep: spec.rep,
                         seed: spec.seed,
                         property: property.name.clone(),
-                        failure,
+                        failure: failure.clone(),
                     });
                 }
             }
@@ -303,6 +303,7 @@ mod tests {
                 fire_ns: i,
                 fail_ns: i + 1,
                 reason: abv_checker::FailReason::Violated,
+                residual: String::new(),
             }];
             p.merge(&one);
         }

@@ -15,7 +15,7 @@ use psl::ClockedProperty;
 use tlmkit::TransactionBus;
 
 use crate::host::{
-    install_clock_host, install_tx_host, ClockCheckerHost, InstallError, TxCheckerHost,
+    install_clock_host, install_tx_host, CheckerHost, ClockCheckerHost, InstallError, TxCheckerHost,
 };
 use crate::monitor::PropertyChecker;
 use crate::report::{CheckReport, PropertyReport};

@@ -10,13 +10,12 @@
 //!    (a fresh instance per evaluation point, Section IV point 4),
 //! 4. translate the body into the monitor formula language.
 
-use std::rc::Rc;
-
 use desim::Simulation;
 use psl::nnf::to_nnf;
 use psl::{Atom, ClockEdge, ClockedProperty, EvalContext, Property};
 
-use crate::monitor::{Lit, LitTest, Mx, PropertyChecker, M};
+use crate::arena::{FormulaArena, NodeId};
+use crate::monitor::{Lit, LitTest, PropertyChecker};
 
 /// Errors produced by checker synthesis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,45 +71,80 @@ pub fn compile(
         other => (other, false),
     };
     let completion_bound_ns = body.completion_bound_ns();
-    let body = translate(&body, sim)?;
+    let mut arena = FormulaArena::new();
+    let body = translate(&body, sim, &mut arena)?;
     let (guard, edge) = match &property.context {
         EvalContext::Clock { edge, guard } => (guard.as_deref(), Some(*edge)),
         EvalContext::Transaction { guard } => (guard.as_deref(), None),
     };
     let guard = match guard {
-        Some(g) => Some(translate(&to_nnf(g), sim)?),
+        Some(g) => Some(translate(&to_nnf(g), sim, &mut arena)?),
         None => None,
     };
-    let mut checker = PropertyChecker::new(name.to_owned(), body, repeating, guard);
+    let mut checker = PropertyChecker::new(name.to_owned(), arena, body, repeating, guard);
     checker.set_completion_bound_ns(completion_bound_ns);
     Ok((checker, edge))
 }
 
-fn translate(p: &Property, sim: &Simulation) -> Result<M, CompileError> {
+/// Lowers an NNF property into the arena. Smart constructors intern each
+/// distinct subformula once, so the compiled body is already maximally
+/// shared.
+fn translate(
+    p: &Property,
+    sim: &Simulation,
+    arena: &mut FormulaArena,
+) -> Result<NodeId, CompileError> {
     Ok(match p {
-        Property::Const(true) => Rc::new(Mx::True),
-        Property::Const(false) => Rc::new(Mx::False),
-        Property::Atom(a) => Rc::new(Mx::Lit(resolve(a, false, sim)?)),
+        Property::Const(true) => NodeId::TRUE,
+        Property::Const(false) => NodeId::FALSE,
+        Property::Atom(a) => {
+            let lit = resolve(a, false, sim)?;
+            arena.lit(&lit)
+        }
         Property::Not(inner) => match &**inner {
-            Property::Atom(a) => Rc::new(Mx::Lit(resolve(a, true, sim)?)),
+            Property::Atom(a) => {
+                let lit = resolve(a, true, sim)?;
+                arena.lit(&lit)
+            }
             _ => return Err(CompileError::UnsupportedNegation),
         },
-        Property::And(a, b) => Rc::new(Mx::And(translate(a, sim)?, translate(b, sim)?)),
-        Property::Or(a, b) => Rc::new(Mx::Or(translate(a, sim)?, translate(b, sim)?)),
+        Property::And(a, b) => {
+            let (a, b) = (translate(a, sim, arena)?, translate(b, sim, arena)?);
+            arena.and(a, b)
+        }
+        Property::Or(a, b) => {
+            let (a, b) = (translate(a, sim, arena)?, translate(b, sim, arena)?);
+            arena.or(a, b)
+        }
         Property::Implies(..) => unreachable!("implication is eliminated by NNF"),
-        Property::Next { n, inner } => Rc::new(Mx::NextN(*n, translate(inner, sim)?)),
-        Property::NextEt { eps_ns, inner, .. } => Rc::new(Mx::NextEt {
-            eps_ns: *eps_ns,
-            inner: translate(inner, sim)?,
-        }),
-        Property::Until(a, b) => Rc::new(Mx::Until(translate(a, sim)?, translate(b, sim)?)),
-        Property::Release(a, b) => Rc::new(Mx::Release(translate(a, sim)?, translate(b, sim)?)),
-        Property::Always(inner) => Rc::new(Mx::Always(translate(inner, sim)?)),
-        Property::Eventually(inner) => Rc::new(Mx::Eventually(translate(inner, sim)?)),
+        Property::Next { n, inner } => {
+            let inner = translate(inner, sim, arena)?;
+            arena.next_n(*n, inner)
+        }
+        Property::NextEt { eps_ns, inner, .. } => {
+            let inner = translate(inner, sim, arena)?;
+            arena.next_et(*eps_ns, inner)
+        }
+        Property::Until(a, b) => {
+            let (a, b) = (translate(a, sim, arena)?, translate(b, sim, arena)?);
+            arena.until(a, b)
+        }
+        Property::Release(a, b) => {
+            let (a, b) = (translate(a, sim, arena)?, translate(b, sim, arena)?);
+            arena.release(a, b)
+        }
+        Property::Always(inner) => {
+            let inner = translate(inner, sim, arena)?;
+            arena.always(inner)
+        }
+        Property::Eventually(inner) => {
+            let inner = translate(inner, sim, arena)?;
+            arena.eventually(inner)
+        }
     })
 }
 
-fn resolve(atom: &Atom, negated: bool, sim: &Simulation) -> Result<Lit, CompileError> {
+pub(crate) fn resolve(atom: &Atom, negated: bool, sim: &Simulation) -> Result<Lit, CompileError> {
     let name = atom.signal();
     let sig = sim
         .signal_id(name)

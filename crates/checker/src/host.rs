@@ -61,34 +61,58 @@ pub(crate) fn install_clock_host(
 
 /// Gives the freshly installed checker its trace-track block and labels the
 /// property-level track, so traces show one named row per property.
-fn assign_trace_tracks<H: HostAccess>(sim: &mut Simulation, id: ComponentId, name: &str) {
+fn assign_trace_tracks<H: CheckerHost>(sim: &mut Simulation, id: ComponentId, name: &str) {
     let tid = trace_tid_base(id);
-    H::checker_of(sim, id).set_trace_tid(tid);
+    sim.component_mut::<H>(id)
+        .expect("just installed")
+        .checker_mut()
+        .set_trace_tid(tid);
     let tracer = sim.tracer().clone();
     trace!(tracer, TraceEvent::thread_name(0, tid, name));
 }
 
-/// Internal access to the checker inside a host component, for
-/// install-time configuration.
-trait HostAccess: Component + Sized {
-    fn checker_of(sim: &mut Simulation, id: ComponentId) -> &mut PropertyChecker;
-}
+/// Shared behaviour of checker-host components: access to the wrapped
+/// [`PropertyChecker`] and the finalize entry points, which are identical
+/// for every host kind.
+pub trait CheckerHost: Component + Sized {
+    /// The wrapped checker (for inspection in tests).
+    fn checker(&self) -> &PropertyChecker;
 
-impl HostAccess for ClockCheckerHost {
-    fn checker_of(sim: &mut Simulation, id: ComponentId) -> &mut PropertyChecker {
-        &mut sim
-            .component_mut::<ClockCheckerHost>(id)
-            .expect("just installed")
-            .checker
+    /// Mutable access to the wrapped checker (e.g. to disable the
+    /// evaluation-table optimization for ablation runs).
+    fn checker_mut(&mut self) -> &mut PropertyChecker;
+
+    /// Finalizes the checker at simulation end `end_ns` and returns the
+    /// definitive report.
+    fn finalize(&mut self, end_ns: u64) -> PropertyReport {
+        self.finalize_traced(end_ns, &Tracer::disabled())
+    }
+
+    /// [`finalize`](CheckerHost::finalize) with trace emission: closes
+    /// the spans of still-open checker instances.
+    fn finalize_traced(&mut self, end_ns: u64, tracer: &Tracer) -> PropertyReport {
+        self.checker_mut().finish_traced(end_ns, tracer);
+        self.checker().report()
     }
 }
 
-impl HostAccess for TxCheckerHost {
-    fn checker_of(sim: &mut Simulation, id: ComponentId) -> &mut PropertyChecker {
-        &mut sim
-            .component_mut::<TxCheckerHost>(id)
-            .expect("just installed")
-            .checker
+impl CheckerHost for ClockCheckerHost {
+    fn checker(&self) -> &PropertyChecker {
+        &self.checker
+    }
+
+    fn checker_mut(&mut self) -> &mut PropertyChecker {
+        &mut self.checker
+    }
+}
+
+impl CheckerHost for TxCheckerHost {
+    fn checker(&self) -> &PropertyChecker {
+        &self.checker
+    }
+
+    fn checker_mut(&mut self) -> &mut PropertyChecker {
+        &mut self.checker
     }
 }
 
@@ -107,33 +131,6 @@ pub(crate) fn install_tx_host(
     bus.subscribe(id, KIND_TX);
     assign_trace_tracks::<TxCheckerHost>(sim, id, name);
     Ok(id)
-}
-
-impl ClockCheckerHost {
-    /// Finalizes the checker at simulation end `end_ns` and returns the
-    /// definitive report.
-    pub fn finalize(&mut self, end_ns: u64) -> PropertyReport {
-        self.finalize_traced(end_ns, &Tracer::disabled())
-    }
-
-    /// [`finalize`](ClockCheckerHost::finalize) with trace emission: closes
-    /// the spans of still-open checker instances.
-    pub fn finalize_traced(&mut self, end_ns: u64, tracer: &Tracer) -> PropertyReport {
-        self.checker.finish_traced(end_ns, tracer);
-        self.checker.report()
-    }
-
-    /// The wrapped checker (for inspection in tests).
-    #[must_use]
-    pub fn checker(&self) -> &PropertyChecker {
-        &self.checker
-    }
-
-    /// Mutable access to the wrapped checker (e.g. to disable the
-    /// evaluation-table optimization for ablation runs).
-    pub fn checker_mut(&mut self) -> &mut PropertyChecker {
-        &mut self.checker
-    }
 }
 
 impl Component for ClockCheckerHost {
@@ -169,33 +166,6 @@ impl Component for ClockCheckerHost {
 /// front-end.
 pub struct TxCheckerHost {
     checker: PropertyChecker,
-}
-
-impl TxCheckerHost {
-    /// Finalizes the checker at simulation end `end_ns` and returns the
-    /// definitive report.
-    pub fn finalize(&mut self, end_ns: u64) -> PropertyReport {
-        self.finalize_traced(end_ns, &Tracer::disabled())
-    }
-
-    /// [`finalize`](TxCheckerHost::finalize) with trace emission: closes
-    /// the spans of still-open checker instances.
-    pub fn finalize_traced(&mut self, end_ns: u64, tracer: &Tracer) -> PropertyReport {
-        self.checker.finish_traced(end_ns, tracer);
-        self.checker.report()
-    }
-
-    /// The wrapped checker (for inspection in tests).
-    #[must_use]
-    pub fn checker(&self) -> &PropertyChecker {
-        &self.checker
-    }
-
-    /// Mutable access to the wrapped checker (e.g. to disable the
-    /// evaluation-table optimization for ablation runs).
-    pub fn checker_mut(&mut self) -> &mut PropertyChecker {
-        &mut self.checker
-    }
 }
 
 impl Component for TxCheckerHost {

@@ -38,16 +38,20 @@
 //! instant the operator is *reached* during evaluation — the two coincide
 //! for top-level occurrences such as the paper's `q1`/`q3`.
 
+mod arena;
 mod attach;
 mod compile;
 mod host;
 mod monitor;
+mod reference;
 mod report;
 
+pub use arena::ArenaStats;
 pub use attach::{Binding, Checker};
 pub use compile::{compile, CompileError};
-pub use host::{ClockCheckerHost, InstallError, TxCheckerHost};
-pub use monitor::{PropertyChecker, WakePlan};
+pub use host::{CheckerHost, ClockCheckerHost, InstallError, TxCheckerHost};
+pub use monitor::{PropertyChecker, SignalRead, WakePlan};
+pub use reference::{compile_reference, ReferenceChecker};
 pub use report::{
     CheckReport, FailReason, Failure, PropertyReport, Verdict, MAX_RECORDED_FAILURES,
 };

@@ -2,9 +2,15 @@
 //! evaluation table.
 //!
 //! A compiled property is evaluated per *instance*. Each instance holds a
-//! residual obligation (an [`Mx`] tree); every evaluation event progresses
-//! the residual into the obligation that must hold from the next event on.
-//! Residuals that reduce to `true` complete, `false` fail.
+//! residual obligation — a [`NodeId`] into the property's hash-consed
+//! [`FormulaArena`]; every evaluation event progresses the residual into
+//! the obligation that must hold from the next event on. Residuals that
+//! reduce to `true` complete, `false` fail.
+//!
+//! Because residuals are interned, instances that reached the same
+//! obligation hold the *same id*, and the arena's per-event progression
+//! memo rewrites each distinct residual once per event no matter how many
+//! instances share it (see the [`arena`](crate::arena) module docs).
 //!
 //! Instances whose residual consists solely of absolute-deadline
 //! obligations (`At` nodes, produced by `next_ε^τ`) are parked in an
@@ -16,17 +22,33 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use abv_obs::{trace, TraceEvent, Tracer};
+use abv_obs::{trace, TraceEvent, Tracer, ARENA_COUNTER_TRACK};
 use desim::SignalId;
 use psl::CmpOp;
 
+use crate::arena::{FormulaArena, NodeId};
 use crate::report::{FailReason, Failure, PropertyReport};
 
-/// Shared monitor-formula node.
-pub(crate) type M = Rc<Mx>;
+/// Signal-value access during monitor evaluation.
+///
+/// The blanket impl makes any `Fn(SignalId) -> u64` closure a
+/// [`SignalRead`], so hosts keep passing plain closures — but the whole
+/// progression path is generic over the reader, so per-literal evaluation
+/// is statically dispatched instead of going through `&dyn Fn`.
+pub trait SignalRead {
+    /// The current value of `sig`.
+    fn value(&self, sig: SignalId) -> u64;
+}
+
+impl<F: Fn(SignalId) -> u64 + ?Sized> SignalRead for F {
+    #[inline]
+    fn value(&self, sig: SignalId) -> u64 {
+        self(sig)
+    }
+}
 
 /// A resolved literal: a signal test, possibly negated.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct Lit {
     pub sig: SignalId,
     pub name: Rc<str>,
@@ -34,7 +56,7 @@ pub(crate) struct Lit {
     pub negated: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum LitTest {
     /// Boolean signal: true iff non-zero.
     Bool,
@@ -43,141 +65,14 @@ pub(crate) enum LitTest {
 }
 
 impl Lit {
-    pub(crate) fn eval(&self, read: &dyn Fn(SignalId) -> u64) -> bool {
-        let raw = read(self.sig);
+    #[inline]
+    pub(crate) fn eval<R: SignalRead + ?Sized>(&self, read: &R) -> bool {
+        let raw = read.value(self.sig);
         let v = match self.test {
             LitTest::Bool => raw != 0,
             LitTest::Cmp(op, rhs) => op.apply(raw, rhs),
         };
         v != self.negated
-    }
-}
-
-/// Monitor formulas: the compiled, signal-resolved form of properties,
-/// extended with the anchored-deadline node `At` that `next_ε^τ` becomes
-/// once reached.
-#[derive(Debug, PartialEq)]
-pub(crate) enum Mx {
-    True,
-    False,
-    Lit(Lit),
-    And(M, M),
-    Or(M, M),
-    /// `next[n]`: operand holds `n` evaluation events ahead.
-    NextN(u32, M),
-    /// `next_ε^τ`, not yet reached: anchors to `now + eps` when progressed.
-    NextEt {
-        eps_ns: u64,
-        inner: M,
-    },
-    /// An anchored obligation: operand must be evaluated at the event at
-    /// exactly `deadline_ns`; an event past the deadline fails it.
-    At {
-        deadline_ns: u64,
-        inner: M,
-    },
-    Until(M, M),
-    Release(M, M),
-    Always(M),
-    Eventually(M),
-}
-
-thread_local! {
-    static M_TRUE: M = Rc::new(Mx::True);
-    static M_FALSE: M = Rc::new(Mx::False);
-}
-
-pub(crate) fn m_true() -> M {
-    M_TRUE.with(Rc::clone)
-}
-
-pub(crate) fn m_false() -> M {
-    M_FALSE.with(Rc::clone)
-}
-
-fn m_bool(b: bool) -> M {
-    if b {
-        m_true()
-    } else {
-        m_false()
-    }
-}
-
-/// `a && b` with constant absorption.
-pub(crate) fn m_and(a: M, b: M) -> M {
-    match (&*a, &*b) {
-        (Mx::False, _) | (_, Mx::False) => m_false(),
-        (Mx::True, _) => b,
-        (_, Mx::True) => a,
-        _ => Rc::new(Mx::And(a, b)),
-    }
-}
-
-/// `a || b` with constant absorption.
-pub(crate) fn m_or(a: M, b: M) -> M {
-    match (&*a, &*b) {
-        (Mx::True, _) | (_, Mx::True) => m_true(),
-        (Mx::False, _) => b,
-        (_, Mx::False) => a,
-        _ => Rc::new(Mx::Or(a, b)),
-    }
-}
-
-/// Progresses `m` through the evaluation event at `now`: the result is the
-/// obligation that must hold from the *next* evaluation event on.
-pub(crate) fn progress(m: &M, read: &dyn Fn(SignalId) -> u64, now: u64) -> M {
-    match &**m {
-        Mx::True | Mx::False => Rc::clone(m),
-        Mx::Lit(lit) => m_bool(lit.eval(read)),
-        Mx::And(a, b) => {
-            let pa = progress(a, read, now);
-            if matches!(*pa, Mx::False) {
-                return m_false();
-            }
-            m_and(pa, progress(b, read, now))
-        }
-        Mx::Or(a, b) => {
-            let pa = progress(a, read, now);
-            if matches!(*pa, Mx::True) {
-                return m_true();
-            }
-            m_or(pa, progress(b, read, now))
-        }
-        Mx::NextN(1, inner) => Rc::clone(inner),
-        Mx::NextN(n, inner) => Rc::new(Mx::NextN(n - 1, Rc::clone(inner))),
-        Mx::NextEt { eps_ns, inner } => Rc::new(Mx::At {
-            deadline_ns: now + eps_ns,
-            inner: Rc::clone(inner),
-        }),
-        Mx::At { deadline_ns, inner } => {
-            if now < *deadline_ns {
-                Rc::clone(m) // event not consumed by this obligation
-            } else if now == *deadline_ns {
-                progress(inner, read, now)
-            } else {
-                m_false() // deadline passed without an observable event
-            }
-        }
-        // φ U ψ  ≡  ψ ∨ (φ ∧ X(φ U ψ))
-        Mx::Until(a, b) => {
-            let pb = progress(b, read, now);
-            if matches!(*pb, Mx::True) {
-                return m_true();
-            }
-            let pa = progress(a, read, now);
-            m_or(pb, m_and(pa, Rc::clone(m)))
-        }
-        // φ R ψ  ≡  ψ ∧ (φ ∨ X(φ R ψ))
-        Mx::Release(a, b) => {
-            let pb = progress(b, read, now);
-            if matches!(*pb, Mx::False) {
-                return m_false();
-            }
-            let pa = progress(a, read, now);
-            m_and(pb, m_or(pa, Rc::clone(m)))
-        }
-        Mx::Always(a) => m_and(progress(a, read, now), Rc::clone(m)),
-        Mx::Eventually(a) => m_or(progress(a, read, now), Rc::clone(m)),
     }
 }
 
@@ -192,76 +87,23 @@ pub enum WakePlan {
 }
 
 /// Computes the wake plan of a (non-constant) residual.
-pub(crate) fn wake_plan(m: &M) -> WakePlan {
-    fn earliest(m: &M) -> Option<u64> {
-        match &**m {
-            Mx::At { deadline_ns, .. } => Some(*deadline_ns),
-            Mx::And(a, b) | Mx::Or(a, b) => {
-                let (ea, eb) = (earliest(a)?, earliest(b)?);
-                Some(ea.min(eb))
-            }
-            // True/False below And/Or are absorbed by the constructors, and
-            // a bare constant residual never reaches wake_plan.
-            _ => None,
-        }
-    }
-    match earliest(m) {
+pub(crate) fn wake_plan(arena: &FormulaArena, id: NodeId) -> WakePlan {
+    match arena.earliest_deadline(id) {
         Some(d) => WakePlan::AtTime(d),
         None => WakePlan::EveryEvent,
     }
 }
 
-/// Three-valued end-of-simulation evaluation of a residual: anchored
-/// obligations with deadlines at or before `end` are false (their instant
-/// passed without an observable event), later ones and event-counting
-/// obligations are unknown.
-fn finish_eval(m: &M, end: u64) -> Option<bool> {
-    match &**m {
-        Mx::True => Some(true),
-        Mx::False => Some(false),
-        Mx::At { deadline_ns, .. } if *deadline_ns <= end => Some(false),
-        Mx::And(a, b) => match (finish_eval(a, end), finish_eval(b, end)) {
-            (Some(false), _) | (_, Some(false)) => Some(false),
-            (Some(true), Some(true)) => Some(true),
-            _ => None,
-        },
-        Mx::Or(a, b) => match (finish_eval(a, end), finish_eval(b, end)) {
-            (Some(true), _) | (_, Some(true)) => Some(true),
-            (Some(false), Some(false)) => Some(false),
-            _ => None,
-        },
-        _ => None,
-    }
-}
-
-/// The earliest missed deadline contributing to a false finish verdict.
-fn earliest_missed(m: &M, end: u64) -> Option<u64> {
-    let mut earliest: Option<u64> = None;
-    fn walk(m: &M, end: u64, earliest: &mut Option<u64>) {
-        match &**m {
-            Mx::At { deadline_ns, .. } if *deadline_ns <= end => {
-                *earliest = Some(earliest.map_or(*deadline_ns, |e| e.min(*deadline_ns)));
-            }
-            Mx::And(a, b) | Mx::Or(a, b) => {
-                walk(a, end, earliest);
-                walk(b, end, earliest);
-            }
-            _ => {}
-        }
-    }
-    walk(m, end, &mut earliest);
-    earliest
-}
-
 /// One running verification session of a property.
 #[derive(Debug)]
 struct Instance {
-    residual: M,
+    residual: NodeId,
     fire_ns: u64,
 }
 
 /// A synthesized checker for one property: monitor body, activation
-/// policy, guard, instance pool and evaluation table.
+/// policy, guard, instance pool and evaluation table, plus the property's
+/// own [`FormulaArena`] holding every formula the monitor can reach.
 ///
 /// Built by [`compile`](crate::compile); driven by a host
 /// ([`ClockCheckerHost`](crate::ClockCheckerHost) or
@@ -270,12 +112,13 @@ struct Instance {
 #[derive(Debug)]
 pub struct PropertyChecker {
     name: String,
-    body: M,
+    arena: FormulaArena,
+    body: NodeId,
     /// True for `always φ`: a new instance activates at every evaluation
     /// point (Section IV, point 4). False: a single activation at the first
     /// evaluation point.
     repeating: bool,
-    guard: Option<M>,
+    guard: Option<NodeId>,
     fired_once: bool,
     pool: Vec<Option<Instance>>,
     free: Vec<usize>,
@@ -291,10 +134,17 @@ pub struct PropertyChecker {
 }
 
 impl PropertyChecker {
-    pub(crate) fn new(name: String, body: M, repeating: bool, guard: Option<M>) -> PropertyChecker {
+    pub(crate) fn new(
+        name: String,
+        arena: FormulaArena,
+        body: NodeId,
+        repeating: bool,
+        guard: Option<NodeId>,
+    ) -> PropertyChecker {
         PropertyChecker {
             report: PropertyReport::new(name.clone()),
             name,
+            arena,
             body,
             repeating,
             guard,
@@ -374,7 +224,7 @@ impl PropertyChecker {
     /// Performs, in order: guard filtering, failure of instances whose
     /// deadline passed, progression of due and every-event instances, and
     /// activation of a new instance.
-    pub fn on_event(&mut self, read: &dyn Fn(SignalId) -> u64, now: u64) {
+    pub fn on_event<R: SignalRead + ?Sized>(&mut self, read: &R, now: u64) {
         self.on_event_traced(read, now, &Tracer::disabled());
     }
 
@@ -383,13 +233,18 @@ impl PropertyChecker {
     /// tracks — a `B…E` span per checker instance from activation to
     /// resolution, `obligation` instants when an instance parks in the
     /// evaluation table, `eval` instants per progression, and a
-    /// `pass`/`fail`/`timeout-fail` instant at resolution.
-    pub fn on_event_traced(&mut self, read: &dyn Fn(SignalId) -> u64, now: u64, tracer: &Tracer) {
+    /// `pass`/`fail`/`timeout-fail` instant at resolution — plus one
+    /// arena-counter sample per processed event (arena size, memo
+    /// hits/misses).
+    pub fn on_event_traced<R: SignalRead + ?Sized>(&mut self, read: &R, now: u64, tracer: &Tracer) {
+        // One memo epoch per evaluation event: within it, progression is a
+        // pure function of the residual id.
+        self.arena.begin_event();
+
         // Events not matching the context guard are invisible to this
         // property (Def. III.2).
-        if let Some(guard) = &self.guard {
-            let g = progress(guard, read, now);
-            if !matches!(*g, Mx::True) {
+        if let Some(guard) = self.guard {
+            if self.arena.progress(guard, read, now) != NodeId::TRUE {
                 return;
             }
         }
@@ -425,21 +280,27 @@ impl PropertyChecker {
         if self.repeating || !self.fired_once {
             self.fired_once = true;
             self.report.activations += 1;
-            let residual = progress(&self.body, read, now);
+            let residual = self.arena.progress(self.body, read, now);
             self.report.evaluations += 1;
-            match &*residual {
-                Mx::True => {
+            match residual {
+                NodeId::TRUE => {
                     self.report.vacuous += 1;
                     trace!(
                         tracer,
                         TraceEvent::instant("vacuous", 0, self.trace_tid, now)
                     );
                 }
-                Mx::False => {
+                NodeId::FALSE => {
+                    let residual = if self.report.wants_failure_detail() {
+                        self.arena.display(self.body).to_string()
+                    } else {
+                        String::new()
+                    };
                     self.report.record_failure(Failure {
                         fire_ns: now,
                         fail_ns: now,
                         reason: FailReason::Violated,
+                        residual,
                     });
                     trace!(
                         tracer,
@@ -451,7 +312,7 @@ impl PropertyChecker {
                 _ => {
                     let (slot, reused) = self.alloc(
                         Instance {
-                            residual: Rc::clone(&residual),
+                            residual,
                             fire_ns: now,
                         },
                         tracer,
@@ -462,10 +323,18 @@ impl PropertyChecker {
                             .with_arg("slot", slot as u64)
                             .with_arg("reused", u64::from(reused))
                     );
-                    self.register(slot, &residual, now, tracer);
+                    self.register(slot, residual, now, tracer);
                 }
             }
         }
+
+        trace!(tracer, {
+            let stats = self.arena.stats();
+            TraceEvent::counter(ARENA_COUNTER_TRACK, 0, self.trace_tid, now)
+                .with_arg("nodes", stats.nodes as u64)
+                .with_arg("memo_hits", stats.hits)
+                .with_arg("memo_misses", stats.misses)
+        });
     }
 
     /// Finalizes at simulation end `end_ns`: anchored obligations whose
@@ -487,15 +356,20 @@ impl PropertyChecker {
         for slot in table.into_values().flatten().chain(every) {
             let instance = self.pool[slot].as_ref().expect("live slot");
             let fire_ns = instance.fire_ns;
-            let residual = Rc::clone(&instance.residual);
+            let residual = instance.residual;
             let tid = self.instance_tid(slot);
-            match finish_eval(&residual, end_ns) {
+            match self.arena.finish_eval(residual, end_ns) {
                 Some(false) => {
-                    let reason = match earliest_missed(&residual, end_ns) {
+                    let reason = match self.arena.earliest_missed(residual, end_ns) {
                         Some(deadline_ns) => FailReason::MissedDeadline { deadline_ns },
                         None => FailReason::Violated,
                     };
-                    self.fail(slot, end_ns, reason, tracer);
+                    let rendered = if self.report.wants_failure_detail() {
+                        self.arena.display(residual).to_string()
+                    } else {
+                        String::new()
+                    };
+                    self.fail(slot, end_ns, reason, rendered, tracer);
                 }
                 Some(true) => {
                     self.report.completions += 1;
@@ -514,52 +388,65 @@ impl PropertyChecker {
         }
     }
 
-    /// A snapshot of the accumulated results.
+    /// A snapshot of the accumulated results, including the arena's size
+    /// and progression-memo counters.
     #[must_use]
     pub fn report(&self) -> PropertyReport {
         let mut r = self.report.clone();
         r.max_live_instances = r.max_live_instances.max(self.live_instances());
+        let stats = self.arena.stats();
+        r.arena_nodes = stats.nodes;
+        r.memo_hits = stats.hits;
+        r.memo_misses = stats.misses;
         r
     }
 
-    fn step(
+    fn step<R: SignalRead + ?Sized>(
         &mut self,
         slot: usize,
-        read: &dyn Fn(SignalId) -> u64,
+        read: &R,
         now: u64,
         missed: Option<u64>,
         tracer: &Tracer,
     ) {
         let tid = self.instance_tid(slot);
-        let instance = self.pool[slot].as_mut().expect("live slot");
-        let fire_ns = instance.fire_ns;
-        let residual = progress(&instance.residual, read, now);
+        let (prev, fire_ns) = {
+            let instance = self.pool[slot].as_ref().expect("live slot");
+            (instance.residual, instance.fire_ns)
+        };
+        let residual = self.arena.progress(prev, read, now);
         self.report.evaluations += 1;
         trace!(tracer, TraceEvent::instant("eval", 0, tid, now));
-        match &*residual {
-            Mx::True => {
+        match residual {
+            NodeId::TRUE => {
                 self.report.completions += 1;
                 self.report.record_completion_latency(now - fire_ns);
                 trace!(tracer, TraceEvent::instant("pass", 0, tid, now));
                 trace!(tracer, TraceEvent::span_end(0, tid, now));
                 self.release(slot);
             }
-            Mx::False => {
+            NodeId::FALSE => {
                 let reason = match missed {
                     Some(deadline_ns) => FailReason::MissedDeadline { deadline_ns },
                     None => FailReason::Violated,
                 };
-                self.fail(slot, now, reason, tracer);
+                // Render the obligation that failed, not its `false` result.
+                let rendered = if self.report.wants_failure_detail() {
+                    self.arena.display(prev).to_string()
+                } else {
+                    String::new()
+                };
+                self.fail(slot, now, reason, rendered, tracer);
             }
             _ => {
-                instance.residual = Rc::clone(&residual);
-                self.register(slot, &residual, now, tracer);
+                self.pool[slot].as_mut().expect("live slot").residual = residual;
+                self.register(slot, residual, now, tracer);
             }
         }
     }
 
-    fn register(&mut self, slot: usize, residual: &M, now: u64, tracer: &Tracer) {
-        match wake_plan(residual) {
+    fn register(&mut self, slot: usize, residual: NodeId, now: u64, tracer: &Tracer) {
+        match wake_plan(&self.arena, residual) {
             WakePlan::AtTime(deadline) if self.use_table => {
                 trace!(
                     tracer,
@@ -603,13 +490,21 @@ impl PropertyChecker {
         self.free.push(slot);
     }
 
-    fn fail(&mut self, slot: usize, now: u64, reason: FailReason, tracer: &Tracer) {
+    fn fail(
+        &mut self,
+        slot: usize,
+        now: u64,
+        reason: FailReason,
+        residual: String,
+        tracer: &Tracer,
+    ) {
         let tid = self.instance_tid(slot);
         let fire_ns = self.pool[slot].as_ref().expect("live slot").fire_ns;
         self.report.record_failure(Failure {
             fire_ns,
             fail_ns: now,
             reason,
+            residual,
         });
         trace!(tracer, {
             let (label, deadline) = match reason {
@@ -633,22 +528,13 @@ mod tests {
     use std::cell::RefCell;
     use std::collections::HashMap;
 
-    fn lit(sig: usize, name: &str) -> M {
-        Rc::new(Mx::Lit(Lit {
+    fn mk_lit(sig: usize, name: &str, negated: bool) -> Lit {
+        Lit {
             sig: test_sig(sig),
             name: name.into(),
             test: LitTest::Bool,
-            negated: false,
-        }))
-    }
-
-    fn nlit(sig: usize, name: &str) -> M {
-        Rc::new(Mx::Lit(Lit {
-            sig: test_sig(sig),
-            name: name.into(),
-            test: LitTest::Bool,
-            negated: true,
-        }))
+            negated,
+        }
     }
 
     fn test_sig(n: usize) -> SignalId {
@@ -674,124 +560,31 @@ mod tests {
     }
 
     #[test]
-    fn constant_absorption() {
-        assert!(matches!(*m_and(m_true(), m_false()), Mx::False));
-        assert!(matches!(*m_or(m_true(), m_false()), Mx::True));
-        let a = lit(0, "a");
-        assert_eq!(m_and(m_true(), Rc::clone(&a)), a);
-        assert_eq!(m_or(m_false(), Rc::clone(&a)), a);
-    }
-
-    #[test]
-    fn progress_literals_and_booleans() {
-        let a = lit(0, "a");
-        let b = nlit(1, "b");
-        let read = env(&[(0, 1), (1, 0)]);
-        assert!(matches!(*progress(&a, &read, 10), Mx::True));
-        assert!(matches!(*progress(&b, &read, 10), Mx::True));
-        let both = m_and(a, b);
-        assert!(matches!(*progress(&both, &read, 10), Mx::True));
-    }
-
-    #[test]
-    fn progress_next_n_counts_events() {
-        let f = Rc::new(Mx::NextN(3, lit(0, "a")));
-        let read = env(&[(0, 1)]);
-        let f1 = progress(&f, &read, 10);
-        assert!(matches!(*f1, Mx::NextN(2, _)));
-        let f2 = progress(&f1, &read, 20);
-        let f3 = progress(&f2, &read, 30);
-        assert!(matches!(*progress(&f3, &read, 40), Mx::True));
-    }
-
-    #[test]
-    fn next_et_anchors_and_resolves_at_deadline() {
-        let f = Rc::new(Mx::NextEt {
-            eps_ns: 170,
-            inner: lit(0, "rdy"),
-        });
-        let hi = env(&[(0, 1)]);
-        let lo = env(&[]);
-        let anchored = progress(&f, &lo, 10);
-        match &*anchored {
-            Mx::At { deadline_ns, .. } => assert_eq!(*deadline_ns, 180),
-            other => panic!("expected At, got {other:?}"),
-        }
-        // Events before the deadline leave it untouched.
-        let same = progress(&anchored, &hi, 100);
-        assert_eq!(same, anchored);
-        // Event at the deadline evaluates the operand.
-        assert!(matches!(*progress(&anchored, &hi, 180), Mx::True));
-        assert!(matches!(*progress(&anchored, &lo, 180), Mx::False));
-        // Event past the deadline fails.
-        assert!(matches!(*progress(&anchored, &hi, 190), Mx::False));
-    }
-
-    #[test]
-    fn until_progression() {
-        let u = Rc::new(Mx::Until(nlit(0, "ds"), lit(1, "rdy")));
-        // rdy high: resolves immediately.
-        assert!(matches!(*progress(&u, &env(&[(1, 1)]), 10), Mx::True));
-        // ds low, rdy low: residual keeps the until.
-        let r = progress(&u, &env(&[]), 10);
-        assert_eq!(r, u);
-        // ds high, rdy low: fails.
-        assert!(matches!(*progress(&u, &env(&[(0, 1)]), 10), Mx::False));
-    }
-
-    #[test]
-    fn release_progression() {
-        let r = Rc::new(Mx::Release(lit(0, "done"), lit(1, "ok")));
-        // ok low: fails.
-        assert!(
-            matches!(*progress(&r, &env(&[(0, 1)]), 10), Mx::False),
-            "ok must hold up to and including the releasing instant"
-        );
-        // ok high, done high: released.
-        assert!(matches!(
-            *progress(&r, &env(&[(0, 1), (1, 1)]), 10),
-            Mx::True
-        ));
-        // ok high, done low: continues.
-        let res = progress(&r, &env(&[(1, 1)]), 10);
-        assert_eq!(res, r);
-    }
-
-    #[test]
     fn wake_plan_classifies() {
-        let at = Rc::new(Mx::At {
-            deadline_ns: 170,
-            inner: lit(0, "a"),
-        });
-        assert_eq!(wake_plan(&at), WakePlan::AtTime(170));
-        let two = m_or(
-            Rc::new(Mx::At {
-                deadline_ns: 200,
-                inner: lit(0, "a"),
-            }),
-            Rc::new(Mx::At {
-                deadline_ns: 150,
-                inner: lit(1, "b"),
-            }),
-        );
-        assert_eq!(wake_plan(&two), WakePlan::AtTime(150));
-        let until = Rc::new(Mx::Until(lit(0, "a"), lit(1, "b")));
-        assert_eq!(wake_plan(&until), WakePlan::EveryEvent);
-        let mixed = m_and(at, until);
-        assert_eq!(wake_plan(&mixed), WakePlan::EveryEvent);
+        let mut arena = FormulaArena::new();
+        let a = arena.lit(&mk_lit(0, "a", false));
+        let b = arena.lit(&mk_lit(1, "b", false));
+        let at = arena.at(170, a);
+        assert_eq!(wake_plan(&arena, at), WakePlan::AtTime(170));
+        let at200 = arena.at(200, a);
+        let at150 = arena.at(150, b);
+        let two = arena.or(at200, at150);
+        assert_eq!(wake_plan(&arena, two), WakePlan::AtTime(150));
+        let until = arena.until(a, b);
+        assert_eq!(wake_plan(&arena, until), WakePlan::EveryEvent);
+        let mixed = arena.and(at, until);
+        assert_eq!(wake_plan(&arena, mixed), WakePlan::EveryEvent);
     }
 
     /// Paper q3-style checker at TLM granularity: `always (!ds || next_et
     /// [1,170] rdy)`.
     fn q3_checker() -> PropertyChecker {
-        let body = m_or(
-            nlit(0, "ds"),
-            Rc::new(Mx::NextEt {
-                eps_ns: 170,
-                inner: lit(1, "rdy"),
-            }),
-        );
-        PropertyChecker::new("q3".into(), body, true, None)
+        let mut arena = FormulaArena::new();
+        let nds = arena.lit(&mk_lit(0, "ds", true));
+        let rdy = arena.lit(&mk_lit(1, "rdy", false));
+        let et = arena.next_et(170, rdy);
+        let body = arena.or(nds, et);
+        PropertyChecker::new("q3".into(), arena, body, true, None)
     }
 
     #[test]
@@ -824,6 +617,10 @@ mod tests {
         );
         assert_eq!(r.failures[0].fire_ns, 10);
         assert_eq!(r.failures[0].fail_ns, 350);
+        assert_eq!(
+            r.failures[0].residual, "at[180ns](rdy)",
+            "failure carries the rendered obligation"
+        );
     }
 
     #[test]
@@ -853,9 +650,10 @@ mod tests {
 
     #[test]
     fn guard_filters_events() {
-        let body = nlit(0, "ds");
-        let guard = lit(1, "en");
-        let mut c = PropertyChecker::new("g".into(), body, true, Some(guard));
+        let mut arena = FormulaArena::new();
+        let body = arena.lit(&mk_lit(0, "ds", true));
+        let guard = arena.lit(&mk_lit(1, "en", false));
+        let mut c = PropertyChecker::new("g".into(), arena, body, true, Some(guard));
         c.on_event(&env(&[(0, 1)]), 10); // en low: invisible, no activation
         assert_eq!(c.report().activations, 0);
         c.on_event(&env(&[(0, 1), (1, 1)]), 20); // visible, !ds violated
@@ -866,8 +664,11 @@ mod tests {
     #[test]
     fn non_repeating_property_fires_once() {
         // (!rdy) until ds
-        let body = Rc::new(Mx::Until(nlit(1, "rdy"), lit(0, "ds")));
-        let mut c = PropertyChecker::new("p9".into(), body, false, None);
+        let mut arena = FormulaArena::new();
+        let nrdy = arena.lit(&mk_lit(1, "rdy", true));
+        let ds = arena.lit(&mk_lit(0, "ds", false));
+        let body = arena.until(nrdy, ds);
+        let mut c = PropertyChecker::new("p9".into(), arena, body, false, None);
         c.on_event(&env(&[]), 10);
         c.on_event(&env(&[]), 20);
         assert_eq!(c.report().activations, 1);
@@ -912,6 +713,38 @@ mod tests {
             r.max_live_instances >= 17,
             "max live = {}",
             r.max_live_instances
+        );
+    }
+
+    #[test]
+    fn report_carries_arena_stats() {
+        let mut c = q3_checker();
+        c.on_event(&env(&[(0, 1)]), 10);
+        c.on_event(&env(&[(1, 1)]), 180);
+        let r = c.report();
+        assert!(r.arena_nodes >= 4, "body formulas interned: {r:?}");
+        assert!(r.memo_misses > 0, "progressions computed: {r:?}");
+    }
+
+    #[test]
+    fn shared_residuals_progress_once_per_event() {
+        // An unbounded every-event property: all live instances of
+        // `(!rdy) until ds` share the *same* residual id, so one event with
+        // N live instances computes one progression and answers the other
+        // N-1 from the memo.
+        let mut arena = FormulaArena::new();
+        let nrdy = arena.lit(&mk_lit(1, "rdy", true));
+        let ds = arena.lit(&mk_lit(0, "ds", false));
+        let body = arena.until(nrdy, ds);
+        let mut c = PropertyChecker::new("u".into(), arena, body, true, None);
+        for k in 0..10u64 {
+            c.on_event(&env(&[]), 10 + 10 * k);
+        }
+        let r = c.report();
+        assert_eq!(c.live_instances(), 10);
+        assert!(
+            r.memo_hits >= 36,
+            "9 events re-progress shared residuals from the memo: {r:?}"
         );
     }
 }

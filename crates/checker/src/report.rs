@@ -31,7 +31,7 @@ impl fmt::Display for FailReason {
 }
 
 /// One recorded property violation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Failure {
     /// When the failing instance was activated.
     pub fire_ns: u64,
@@ -39,6 +39,9 @@ pub struct Failure {
     pub fail_ns: u64,
     /// Why it failed.
     pub reason: FailReason,
+    /// The outstanding obligation at the point of failure, rendered from
+    /// the property's formula arena (empty when unavailable).
+    pub residual: String,
 }
 
 impl fmt::Display for Failure {
@@ -47,7 +50,11 @@ impl fmt::Display for Failure {
             f,
             "fired @{}ns, failed @{}ns: {}",
             self.fire_ns, self.fail_ns, self.reason
-        )
+        )?;
+        if !self.residual.is_empty() {
+            write!(f, " [obligation: {}]", self.residual)?;
+        }
+        Ok(())
     }
 }
 
@@ -105,6 +112,16 @@ pub struct PropertyReport {
     /// nanoseconds) of instances that resolved successfully. Divide by the
     /// reference clock period for the paper's cycle view.
     pub latency: Histogram,
+    /// Distinct interned nodes in the property's formula arena (its size).
+    /// Merging takes the maximum across runs, since each run owns an
+    /// arena of the same property.
+    pub arena_nodes: usize,
+    /// Progression-memo hits: progressions answered from the per-event
+    /// cache because another live instance already rewrote the same
+    /// residual at this event.
+    pub memo_hits: u64,
+    /// Progression-memo misses (progressions actually computed).
+    pub memo_misses: u64,
 }
 
 impl PropertyReport {
@@ -123,7 +140,20 @@ impl PropertyReport {
             evaluations: 0,
             timeout_fails: 0,
             latency: Histogram::new(),
+            arena_nodes: 0,
+            memo_hits: 0,
+            memo_misses: 0,
         }
+    }
+
+    /// Progression-memo hit rate in percent (0 when nothing was looked
+    /// up): the share of residual rewrites that were shared across live
+    /// instances instead of recomputed.
+    #[must_use]
+    pub fn memo_hit_pct(&self) -> u64 {
+        (self.memo_hits * 100)
+            .checked_div(self.memo_hits + self.memo_misses)
+            .unwrap_or(0)
     }
 
     /// The overall verdict.
@@ -134,6 +164,13 @@ impl PropertyReport {
         } else {
             Verdict::Pass
         }
+    }
+
+    /// True while the failure list is below [`MAX_RECORDED_FAILURES`]:
+    /// callers use this to skip rendering residual strings for failures
+    /// that would be counted but not stored.
+    pub(crate) fn wants_failure_detail(&self) -> bool {
+        self.failures.len() < MAX_RECORDED_FAILURES
     }
 
     pub(crate) fn record_failure(&mut self, failure: Failure) {
@@ -176,13 +213,16 @@ impl PropertyReport {
             if self.failures.len() >= MAX_RECORDED_FAILURES {
                 break;
             }
-            self.failures.push(*failure);
+            self.failures.push(failure.clone());
         }
         self.pending += other.pending;
         self.max_live_instances = self.max_live_instances.max(other.max_live_instances);
         self.evaluations += other.evaluations;
         self.timeout_fails += other.timeout_fails;
         self.latency.merge(&other.latency);
+        self.arena_nodes = self.arena_nodes.max(other.arena_nodes);
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
     }
 }
 
@@ -292,6 +332,7 @@ mod tests {
             fire_ns: 1,
             fail_ns: 2,
             reason: FailReason::Violated,
+            residual: String::new(),
         });
         assert_eq!(r.verdict(), Verdict::Fail);
         assert_eq!(r.failure_count, 1);
@@ -305,6 +346,7 @@ mod tests {
                 fire_ns: i,
                 fail_ns: i,
                 reason: FailReason::Violated,
+                residual: String::new(),
             });
         }
         assert_eq!(r.failures.len(), MAX_RECORDED_FAILURES);
@@ -319,6 +361,7 @@ mod tests {
             fire_ns: 0,
             fail_ns: 5,
             reason: FailReason::Violated,
+            residual: String::new(),
         });
         let report: CheckReport = [ok, bad].into_iter().collect();
         assert!(!report.all_pass());
@@ -346,6 +389,7 @@ mod tests {
             fire_ns: 1,
             fail_ns: 2,
             reason: FailReason::Violated,
+            residual: String::new(),
         });
         a.record_completion_latency(170);
         let mut b = PropertyReport::new("p".into());
@@ -357,6 +401,7 @@ mod tests {
             fire_ns: 10,
             fail_ns: 20,
             reason: FailReason::MissedDeadline { deadline_ns: 15 },
+            residual: String::new(),
         });
         b.record_completion_latency(340);
         a.merge(&b);
@@ -382,11 +427,13 @@ mod tests {
                 fire_ns: i,
                 fail_ns: i,
                 reason: FailReason::Violated,
+                residual: String::new(),
             });
             b.record_failure(Failure {
                 fire_ns: i,
                 fail_ns: i,
                 reason: FailReason::Violated,
+                residual: String::new(),
             });
         }
         a.merge(&b);
@@ -416,14 +463,30 @@ mod tests {
 
     #[test]
     fn displays() {
-        let f = Failure {
+        let mut f = Failure {
             fire_ns: 10,
             fail_ns: 350,
             reason: FailReason::MissedDeadline { deadline_ns: 340 },
+            residual: String::new(),
         };
         assert_eq!(
             f.to_string(),
             "fired @10ns, failed @350ns: no event at required instant 340ns"
         );
+        f.residual = "at[340ns](rdy)".into();
+        assert_eq!(
+            f.to_string(),
+            "fired @10ns, failed @350ns: no event at required instant 340ns \
+             [obligation: at[340ns](rdy)]"
+        );
+    }
+
+    #[test]
+    fn memo_hit_pct_is_guarded() {
+        let mut r = PropertyReport::new("p".into());
+        assert_eq!(r.memo_hit_pct(), 0);
+        r.memo_hits = 3;
+        r.memo_misses = 1;
+        assert_eq!(r.memo_hit_pct(), 75);
     }
 }

@@ -47,6 +47,13 @@ pub use histogram::Histogram;
 pub use sink::{JsonStreamSink, MemorySink, NullSink, TraceSink};
 pub use tracer::{SharedSink, Tracer};
 
+/// The checker-arena counter track: one sample per processed evaluation
+/// event on the property's base track, carrying the `nodes` (arena size),
+/// `memo_hits` and `memo_misses` series — the observability face of the
+/// hash-consed monitor representation (interned formula count and
+/// progression-cache effectiveness).
+pub const ARENA_COUNTER_TRACK: &str = "checker-arena";
+
 /// Records an event iff the tracer is enabled. The event expression is not
 /// evaluated otherwise, so instrumentation sites cost a single branch when
 /// tracing is off.

@@ -20,6 +20,12 @@ cargo test -q
 echo "==> cargo test -q --test trace_determinism"
 cargo test -q --test trace_determinism
 
+echo "==> cargo test -q -p abv-checker --test differential"
+cargo test -q -p abv-checker --test differential
+
+echo "==> cargo bench -p abv-bench --bench checker_overhead (smoke)"
+ABV_BENCH_BUDGET_MS=100 ABV_BENCH_SIZE=20 cargo bench -p abv-bench --bench checker_overhead
+
 echo "==> cargo doc --no-deps -p abv-obs (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abv-obs
 

@@ -541,6 +541,17 @@ fn dump_vcd<S: AsRef<str>>(
 fn render_report(header: &str, report: &CheckReport) -> String {
     let mut out = format!("== {header} ==\n");
     let _ = write!(out, "{report}");
+    let nodes: usize = report.properties.iter().map(|p| p.arena_nodes).sum();
+    let hits: u64 = report.properties.iter().map(|p| p.memo_hits).sum();
+    let misses: u64 = report.properties.iter().map(|p| p.memo_misses).sum();
+    let lookups = hits + misses;
+    if nodes > 0 {
+        let pct = (hits * 100).checked_div(lookups).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "arena: {nodes} nodes, memo hit rate {pct}% ({hits}/{lookups} lookups)"
+        );
+    }
     let verdict = if report.all_pass() {
         "ALL PASS"
     } else {

@@ -64,7 +64,7 @@ fn fig5_failure_when_expected_instant_is_skipped() {
     script.push((350, 0, 1));
     let report = run_script(script);
     assert_eq!(report.failure_count, 1);
-    let failure = report.failures[0];
+    let failure = &report.failures[0];
     assert_eq!(failure.fire_ns, 170);
     assert_eq!(failure.fail_ns, 350);
     assert_eq!(
