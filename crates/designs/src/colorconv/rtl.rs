@@ -107,6 +107,7 @@ impl RtlBuilt {
 #[must_use]
 pub fn build_rtl(workload: &ConvWorkload, mutation: ConvMutation) -> RtlBuilt {
     let mut sim = Simulation::new();
+    sim.reserve_signals(10); // pin list + clock, registered in one burst
     let clk = Clock::install(&mut sim, "clk", CLOCK_PERIOD_NS);
     let px_valid = sim.add_signal("px_valid", 0);
     let r = sim.add_signal("r", 0);

@@ -109,6 +109,7 @@ pub struct RtlBuilt {
 #[must_use]
 pub fn build_rtl(workload: &DesWorkload, mutation: DesMutation) -> RtlBuilt {
     let mut sim = Simulation::new();
+    sim.reserve_signals(10); // pin list + clock, registered in one burst
     let clk = Clock::install(&mut sim, "clk", CLOCK_PERIOD_NS);
     let ds = sim.add_signal("ds", 0);
     let indata = sim.add_signal("indata", 0);

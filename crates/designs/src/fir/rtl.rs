@@ -86,6 +86,7 @@ impl RtlBuilt {
 #[must_use]
 pub fn build_rtl(workload: &FirWorkload, mutation: FirMutation) -> RtlBuilt {
     let mut sim = Simulation::new();
+    sim.reserve_signals(10); // pin list + clock, registered in one burst
     let clk = Clock::install(&mut sim, "clk", CLOCK_PERIOD_NS);
     let in_valid = sim.add_signal("in_valid", 0);
     let sample = sim.add_signal("sample", 0);

@@ -24,6 +24,11 @@ use desim::{Component, ComponentId, Event, SignalId, SimCtx, SimTime, Simulation
 pub struct Clock {
     signal: SignalId,
     half_period_ns: u64,
+    /// The level the next toggle writes — tracked internally so the
+    /// generator's hot path is a single signal write plus a half-period
+    /// self-schedule (which the kernel's time wheel absorbs in O(1))
+    /// without re-reading the committed clock value every edge.
+    next_level: u64,
 }
 
 /// Handle returned by [`Clock::install`].
@@ -54,6 +59,7 @@ impl Clock {
         let component = sim.add_component(Clock {
             signal,
             half_period_ns: period_ns / 2,
+            next_level: 1,
         });
         // First rising edge at one full period.
         sim.schedule(SimTime::from_ns(period_ns), component, 0);
@@ -67,8 +73,8 @@ impl Clock {
 
 impl Component for Clock {
     fn handle(&mut self, _ev: Event, ctx: &mut SimCtx<'_>) {
-        let v = ctx.read(self.signal);
-        ctx.write(self.signal, 1 - v);
+        ctx.write(self.signal, self.next_level);
+        self.next_level ^= 1;
         ctx.schedule_self(self.half_period_ns, 0);
     }
 }

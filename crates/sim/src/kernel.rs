@@ -4,8 +4,9 @@ use std::any::Any;
 
 use abv_obs::{TraceEvent, Tracer};
 
-use crate::queue::EventQueue;
+use crate::queue::{default_scheduler, EventQueue, SchedulerKind};
 use crate::signal::{SignalId, SignalStore};
+use crate::staging::Staged;
 use crate::stats::SimStats;
 use crate::time::SimTime;
 
@@ -98,7 +99,9 @@ impl SimCtx<'_> {
     /// current timestamp.
     pub fn schedule_in(&mut self, delay_ns: u64, component: ComponentId, kind: u64) {
         if delay_ns == 0 {
-            self.queue.push(self.now, self.delta + 1, component, kind);
+            // The handling timestamp is always open on the scheduler.
+            self.queue
+                .push_staged(self.now, self.delta + 1, component, kind);
         } else {
             self.queue.push(self.now + delay_ns, 0, component, kind);
         }
@@ -121,7 +124,6 @@ impl SimCtx<'_> {
 /// A discrete-event simulation: signals, components, scheduler and clock.
 ///
 /// See the [crate-level example](crate) for typical usage.
-#[derive(Default)]
 pub struct Simulation {
     components: Vec<Option<Box<dyn Component>>>,
     events_per_component: Vec<u64>,
@@ -131,6 +133,18 @@ pub struct Simulation {
     last_timestamp: Option<SimTime>,
     stats: SimStats,
     tracer: Tracer,
+    /// Recycled evaluate-round buffer (swapped with the scheduler's round
+    /// buffers each delta, so the steady-state run loop allocates nothing).
+    round_scratch: Vec<Staged>,
+    /// Stats as of the last emitted kernel-counter sample, so the trailing
+    /// sample is only emitted when something changed since.
+    last_counter_sample: Option<SimStats>,
+}
+
+impl Default for Simulation {
+    fn default() -> Simulation {
+        Simulation::with_scheduler(default_scheduler())
+    }
 }
 
 /// The kernel counter track: cumulative [`SimStats`] sampled at every
@@ -138,10 +152,44 @@ pub struct Simulation {
 pub const KERNEL_COUNTER_TRACK: &str = "kernel";
 
 impl Simulation {
-    /// Creates an empty simulation at time zero.
+    /// Creates an empty simulation at time zero, scheduling on the
+    /// process-wide default (see [`set_default_scheduler`]).
+    ///
+    /// [`set_default_scheduler`]: crate::set_default_scheduler
     #[must_use]
     pub fn new() -> Simulation {
         Simulation::default()
+    }
+
+    /// Creates an empty simulation scheduling on an explicit queue
+    /// implementation — [`SchedulerKind::Reference`] exists for
+    /// differential tests and scheduler benchmarks.
+    #[must_use]
+    pub fn with_scheduler(kind: SchedulerKind) -> Simulation {
+        Simulation {
+            components: Vec::new(),
+            events_per_component: Vec::new(),
+            signals: SignalStore::default(),
+            queue: EventQueue::new(kind),
+            now: SimTime::ZERO,
+            last_timestamp: None,
+            stats: SimStats::new(),
+            tracer: Tracer::disabled(),
+            round_scratch: Vec::new(),
+            last_counter_sample: None,
+        }
+    }
+
+    /// The queue implementation this simulation schedules on.
+    #[must_use]
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Pre-allocates room for `additional` more signals — worth calling
+    /// once before the signal burst of a design build.
+    pub fn reserve_signals(&mut self, additional: usize) {
+        self.signals.reserve(additional);
     }
 
     /// Registers a named signal with an initial value and returns its
@@ -257,7 +305,7 @@ impl Simulation {
     }
 
     /// Emits one cumulative kernel-counter sample at `at`.
-    fn trace_counters(&self, at: SimTime) {
+    fn trace_counters(&mut self, at: SimTime) {
         abv_obs::trace!(
             self.tracer,
             TraceEvent::counter(KERNEL_COUNTER_TRACK, 0, 0, at.as_ns())
@@ -265,11 +313,19 @@ impl Simulation {
                 .with_arg("deltas", self.stats.delta_cycles)
                 .with_arg("signal_changes", self.stats.signal_changes)
         );
+        self.last_counter_sample = Some(self.stats);
     }
 
     /// Runs until the event queue drains or the next event lies beyond
     /// `end`, whichever comes first. Events exactly at `end` are processed.
     /// Returns the accumulated statistics.
+    ///
+    /// Each loop iteration opens one timestamp on the scheduler and drains
+    /// it round by round: the evaluate phase delivers one staged delta
+    /// round (whose zero-delay schedules stage into the next round), the
+    /// update phase commits signal writes and stages the resulting wakes —
+    /// SystemC's delta-cycle discipline, with every same-timestamp hop an
+    /// O(1) staging push.
     ///
     /// # Panics
     ///
@@ -277,58 +333,72 @@ impl Simulation {
     /// (the kernel is strictly sequential, so this indicates a stale
     /// [`ComponentId`]).
     pub fn run_until(&mut self, end: SimTime) -> SimStats {
-        while let Some((t, delta)) = self.queue.peek_key() {
+        let mut round = std::mem::take(&mut self.round_scratch);
+        while let Some(t) = self.queue.next_time() {
             if t > end {
                 break;
             }
             if self.last_timestamp != Some(t) {
                 self.last_timestamp = Some(t);
                 self.stats.timestamps += 1;
-                self.trace_counters(t);
+                if self.tracer.is_enabled() {
+                    self.trace_counters(t);
+                }
             }
             if t > self.now {
                 self.now = t;
             }
 
-            // Evaluate phase: deliver every event at (t, delta).
-            while let Some(entry) = self.queue.pop_if_at(t, delta) {
-                let mut component = self.components[entry.target.0]
-                    .take()
-                    .expect("component re-entered while being handled");
-                let mut ctx = SimCtx {
-                    now: t,
-                    delta,
-                    self_id: entry.target,
-                    signals: &mut self.signals,
-                    queue: &mut self.queue,
-                    tracer: &self.tracer,
-                };
-                component.handle(
-                    Event {
-                        kind: entry.kind,
-                        time: t,
-                    },
-                    &mut ctx,
-                );
-                self.components[entry.target.0] = Some(component);
-                self.events_per_component[entry.target.0] += 1;
-                self.stats.events_processed += 1;
-            }
+            self.queue.begin_timestamp(t);
+            while let Some(delta) = self.queue.next_round(t, &mut round) {
+                // Evaluate phase: deliver every event at (t, delta).
+                for entry in round.drain(..) {
+                    let mut component = self.components[entry.target.0]
+                        .take()
+                        .expect("component re-entered while being handled");
+                    let mut ctx = SimCtx {
+                        now: t,
+                        delta,
+                        self_id: entry.target,
+                        signals: &mut self.signals,
+                        queue: &mut self.queue,
+                        tracer: &self.tracer,
+                    };
+                    component.handle(
+                        Event {
+                            kind: entry.kind,
+                            time: t,
+                        },
+                        &mut ctx,
+                    );
+                    self.components[entry.target.0] = Some(component);
+                    self.events_per_component[entry.target.0] += 1;
+                    self.stats.events_processed += 1;
+                }
 
-            // Update phase: commit writes, wake sensitive components in the
-            // next delta.
-            if self.signals.has_pending() {
-                let queue = &mut self.queue;
-                let changes = self.signals.commit(|component, kind| {
-                    queue.push(t, delta + 1, component, kind);
-                });
-                self.stats.signal_changes += changes as u64;
+                // Update phase: commit writes, wake sensitive components in
+                // the next delta.
+                if self.signals.has_pending() {
+                    let queue = &mut self.queue;
+                    let changes = self.signals.commit(|component, kind| {
+                        queue.push_staged(t, delta + 1, component, kind);
+                    });
+                    self.stats.signal_changes += changes as u64;
+                }
+                self.stats.delta_cycles += 1;
             }
-            self.stats.delta_cycles += 1;
         }
-        // Final sample so the counter track covers the whole run.
-        if let Some(last) = self.last_timestamp {
-            self.trace_counters(last);
+        self.round_scratch = round;
+        // Final sample so the counter track covers the whole run — skipped
+        // when nothing changed since the last emission (otherwise a
+        // run_until call that processes no events would append a duplicate
+        // trailing counter row).
+        if self.tracer.is_enabled() {
+            if let Some(last) = self.last_timestamp {
+                if self.last_counter_sample != Some(self.stats) {
+                    self.trace_counters(last);
+                }
+            }
         }
         self.stats
     }
@@ -504,6 +574,47 @@ mod tests {
         assert_eq!(sim.events_for(a), 3);
         assert_eq!(sim.events_for(b), 1);
         assert_eq!(sim.events_for(ComponentId(99)), 0, "stale ids read as zero");
+    }
+
+    /// The trailing kernel-counter sample is emitted once per change: a
+    /// `run_until` that processes nothing must not append a duplicate row
+    /// for the last timestamp.
+    #[test]
+    fn trailing_counter_sample_is_not_duplicated() {
+        use abv_obs::Phase;
+
+        let mut sim = Simulation::new();
+        let (tracer, sink) = Tracer::memory();
+        sim.set_tracer(tracer);
+        let r = sim.add_component(Recorder { seen: Vec::new() });
+        sim.schedule(SimTime::from_ns(10), r, 1);
+        sim.run_until(SimTime::from_ns(20));
+        let after_first = sink
+            .borrow()
+            .events()
+            .filter(|e| e.phase == Phase::Counter)
+            .count();
+        assert_eq!(after_first, 2, "entry sample + changed trailing sample");
+
+        // Idle re-runs emit nothing new.
+        sim.run_until(SimTime::from_ns(30));
+        sim.run_until(SimTime::from_ns(40));
+        let after_idle = sink
+            .borrow()
+            .events()
+            .filter(|e| e.phase == Phase::Counter)
+            .count();
+        assert_eq!(after_idle, after_first, "idle runs duplicated the sample");
+
+        // New activity resumes sampling.
+        sim.schedule(SimTime::from_ns(50), r, 2);
+        sim.run_until(SimTime::from_ns(60));
+        let after_more = sink
+            .borrow()
+            .events()
+            .filter(|e| e.phase == Phase::Counter)
+            .count();
+        assert_eq!(after_more, after_first + 2);
     }
 
     #[test]

@@ -48,10 +48,99 @@
 mod kernel;
 mod queue;
 mod signal;
+mod staging;
 mod stats;
 mod time;
+mod wheel;
 
 pub use kernel::{Component, ComponentId, Event, SimCtx, Simulation, KERNEL_COUNTER_TRACK};
+pub use queue::{default_scheduler, set_default_scheduler, SchedulerKind};
 pub use signal::SignalId;
 pub use stats::SimStats;
 pub use time::SimTime;
+
+/// Test-only scheduler access for differential testing.
+///
+/// Hidden from docs: this exists so the randomized equivalence suite
+/// (`tests/sched_differential.rs`) can drive the two queue implementations
+/// event-for-event without going through a full simulation.
+#[doc(hidden)]
+pub mod testing {
+    use crate::kernel::ComponentId;
+    use crate::queue::EventQueue;
+    pub use crate::queue::SchedulerKind;
+    use crate::staging::Staged;
+    use crate::time::SimTime;
+
+    /// Drives one queue implementation push-by-push / pop-by-pop.
+    ///
+    /// Pushes must describe a kernel-realizable trace: while a timestamp
+    /// is mid-drain, same-timestamp pushes must land at a delta strictly
+    /// greater than the round currently being popped (exactly what
+    /// `SimCtx` enforces by construction).
+    pub struct SchedulerHarness {
+        queue: EventQueue,
+        round: Vec<Staged>,
+        cursor: usize,
+        key: (SimTime, u32),
+        active: Option<SimTime>,
+    }
+
+    impl SchedulerHarness {
+        #[must_use]
+        pub fn new(kind: SchedulerKind) -> SchedulerHarness {
+            SchedulerHarness {
+                queue: EventQueue::new(kind),
+                round: Vec::new(),
+                cursor: 0,
+                key: (SimTime::ZERO, 0),
+                active: None,
+            }
+        }
+
+        /// Schedules `(target, kind)` at `(time_ns, delta)`.
+        pub fn push(&mut self, time_ns: u64, delta: u32, target: usize, kind: u64) {
+            self.queue
+                .push(SimTime::from_ns(time_ns), delta, ComponentId(target), kind);
+        }
+
+        /// Pops the globally earliest event as
+        /// `(time_ns, delta, target, kind)`.
+        pub fn pop(&mut self) -> Option<(u64, u32, usize, u64)> {
+            loop {
+                if self.cursor < self.round.len() {
+                    let ev = self.round[self.cursor];
+                    self.cursor += 1;
+                    return Some((self.key.0.as_ns(), self.key.1, ev.target.0, ev.kind));
+                }
+                self.round.clear();
+                self.cursor = 0;
+                // Exhaust the open timestamp's rounds before moving time
+                // forward — the kernel's discipline.
+                if let Some(t) = self.active {
+                    match self.queue.next_round(t, &mut self.round) {
+                        Some(delta) => {
+                            self.key = (t, delta);
+                            continue;
+                        }
+                        None => self.active = None,
+                    }
+                }
+                let t = self.queue.next_time()?;
+                self.queue.begin_timestamp(t);
+                self.active = Some(t);
+            }
+        }
+
+        /// Pending events (undelivered round remainder included).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.queue.len() + (self.round.len() - self.cursor)
+        }
+
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}

@@ -3,8 +3,15 @@
 //! Writes performed during an evaluate phase are *pending* until the kernel
 //! commits them between delta cycles; a commit that changes a signal's
 //! value wakes the components on its sensitivity list in the next delta.
+//!
+//! The store is laid out struct-of-arrays: the commit path touches only
+//! the dense `pending`/`dirty` columns (a flat flag per slot instead of an
+//! `Option` discriminant), and names — which only matter at build and
+//! report time — live in their own column, allocated once and shared with
+//! the lookup map.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::kernel::ComponentId;
 
@@ -12,35 +19,47 @@ use crate::kernel::ComponentId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SignalId(pub(crate) usize);
 
-#[derive(Debug)]
-struct Slot {
-    name: String,
-    value: u64,
-    pending: Option<u64>,
-    /// `(component, event kind delivered on change)`.
-    sensitivity: Vec<(ComponentId, u64)>,
-}
-
 /// Storage for all signals of a simulation.
 #[derive(Debug, Default)]
 pub(crate) struct SignalStore {
-    slots: Vec<Slot>,
-    by_name: HashMap<String, SignalId>,
-    /// Signals with a pending write, deduplicated.
+    /// Registered names; each allocation is shared with the `by_name` key.
+    names: Vec<Rc<str>>,
+    /// Committed values.
+    values: Vec<u64>,
+    /// Pending write per slot, meaningful while its dirty flag is set.
+    pending: Vec<u64>,
+    /// Dense per-slot dirty flag gating `pending`.
+    dirty_flags: Vec<bool>,
+    /// `(component, event kind delivered on change)` per slot.
+    sensitivity: Vec<Vec<(ComponentId, u64)>>,
+    by_name: HashMap<Rc<str>, SignalId>,
+    /// Slots with a pending write, in first-write order (deduplicated by
+    /// the dirty flags) — commit wake order must be deterministic.
     dirty: Vec<SignalId>,
 }
 
 impl SignalStore {
+    /// Pre-allocates room for `additional` more signals across every
+    /// column (design builds register their whole pin list in one burst).
+    pub fn reserve(&mut self, additional: usize) {
+        self.names.reserve(additional);
+        self.values.reserve(additional);
+        self.pending.reserve(additional);
+        self.dirty_flags.reserve(additional);
+        self.sensitivity.reserve(additional);
+        self.by_name.reserve(additional);
+    }
+
     /// Creates a signal; duplicate names are rejected by the kernel wrapper.
     pub fn add(&mut self, name: &str, init: u64) -> SignalId {
-        let id = SignalId(self.slots.len());
-        self.slots.push(Slot {
-            name: name.to_owned(),
-            value: init,
-            pending: None,
-            sensitivity: Vec::new(),
-        });
-        self.by_name.insert(name.to_owned(), id);
+        let id = SignalId(self.values.len());
+        let name: Rc<str> = Rc::from(name);
+        self.names.push(name.clone());
+        self.values.push(init);
+        self.pending.push(0);
+        self.dirty_flags.push(false);
+        self.sensitivity.push(Vec::new());
+        self.by_name.insert(name, id);
         id
     }
 
@@ -53,30 +72,30 @@ impl SignalStore {
     }
 
     pub fn name(&self, id: SignalId) -> &str {
-        &self.slots[id.0].name
+        &self.names[id.0]
     }
 
     pub fn read(&self, id: SignalId) -> u64 {
-        self.slots[id.0].value
+        self.values[id.0]
     }
 
     /// Requests a write; commits at the next update phase (last write wins).
     pub fn write(&mut self, id: SignalId, value: u64) {
-        let slot = &mut self.slots[id.0];
-        if slot.pending.is_none() {
+        if !self.dirty_flags[id.0] {
+            self.dirty_flags[id.0] = true;
             self.dirty.push(id);
         }
-        slot.pending = Some(value);
+        self.pending[id.0] = value;
     }
 
     /// Immediately forces a value (initialization only — bypasses the
     /// update phase and does not wake sensitive components).
     pub fn force(&mut self, id: SignalId, value: u64) {
-        self.slots[id.0].value = value;
+        self.values[id.0] = value;
     }
 
     pub fn subscribe(&mut self, id: SignalId, component: ComponentId, kind: u64) {
-        self.slots[id.0].sensitivity.push((component, kind));
+        self.sensitivity[id.0].push((component, kind));
     }
 
     pub fn has_pending(&self) -> bool {
@@ -88,26 +107,31 @@ impl SignalStore {
     /// old one. Returns the number of changed signals.
     pub fn commit(&mut self, mut wake: impl FnMut(ComponentId, u64)) -> usize {
         let mut changed = 0;
-        let dirty = std::mem::take(&mut self.dirty);
-        for id in dirty {
-            let slot = &mut self.slots[id.0];
-            let Some(v) = slot.pending.take() else {
-                continue;
-            };
-            if v != slot.value {
-                slot.value = v;
+        // Disjoint-field borrows: the dirty list is only read while the
+        // value/flag columns are written, and cleared after — the
+        // allocation is reused across commits.
+        for id in &self.dirty {
+            let i = id.0;
+            self.dirty_flags[i] = false;
+            let v = self.pending[i];
+            if v != self.values[i] {
+                self.values[i] = v;
                 changed += 1;
-                for &(c, kind) in &slot.sensitivity {
+                for &(c, kind) in &self.sensitivity[i] {
                     wake(c, kind);
                 }
             }
         }
+        self.dirty.clear();
         changed
     }
 
     /// Iterates `(name, current value)` over all signals.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.slots.iter().map(|s| (s.name.as_str(), s.value))
+        self.names
+            .iter()
+            .zip(&self.values)
+            .map(|(n, &v)| (n.as_ref(), v))
     }
 }
 
@@ -146,6 +170,7 @@ mod tests {
         let changed = st.commit(|c, k| woken.push((c, k)));
         assert_eq!(changed, 0);
         assert!(woken.is_empty());
+        assert!(!st.has_pending(), "dirty state fully cleared");
     }
 
     #[test]
@@ -167,5 +192,29 @@ mod tests {
         assert_eq!(st.lookup("rdy"), Some(s));
         assert_eq!(st.lookup("nope"), None);
         assert_eq!(st.name(s), "rdy");
+    }
+
+    #[test]
+    fn name_storage_is_shared_not_duplicated() {
+        let mut st = SignalStore::default();
+        st.reserve(2);
+        let s = st.add("shared", 0);
+        let (key, _) = st.by_name.get_key_value("shared").expect("registered");
+        assert!(
+            Rc::ptr_eq(key, &st.names[s.0]),
+            "map key and name column share one allocation"
+        );
+    }
+
+    #[test]
+    fn dirty_list_is_reused_across_commits() {
+        let mut st = SignalStore::default();
+        let s = st.add("s", 0);
+        for round in 1..=3u64 {
+            st.write(s, round);
+            assert!(st.has_pending());
+            assert_eq!(st.commit(|_, _| {}), 1);
+        }
+        assert_eq!(st.read(s), 3);
     }
 }

@@ -1,0 +1,313 @@
+//! The timed tier of the two-tier scheduler: a bucketed time wheel over a
+//! near-future window, with a comparison-based overflow heap for
+//! far-future (or rewound) schedules.
+//!
+//! The wheel covers [`SLOTS`] one-nanosecond ticks ahead of its current
+//! position — comfortably spanning the design clock periods (10 ns), so
+//! the periodic self-schedules that dominate RTL workloads insert and
+//! drain in O(1). Each slot is a plain `Vec`, so FIFO order among events
+//! at the same timestamp is bucket insertion order and needs no sequence
+//! number. Only schedules landing outside the window pay for the
+//! `BinaryHeap`, whose entries keep a sequence number and **cascade** into
+//! the wheel the moment the advancing window covers them — before any
+//! direct push can target those slots, which is what keeps the merged
+//! order FIFO-correct.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::kernel::ComponentId;
+use crate::staging::DeltaStaging;
+use crate::time::SimTime;
+
+/// Wheel window size in 1 ns ticks (power of two for cheap wrapping).
+pub(crate) const SLOTS: usize = 256;
+const WORDS: usize = SLOTS / 64;
+
+/// A timed event parked in a wheel slot; the timestamp is implied by the
+/// slot, the delta rides along (non-zero only through the test harness —
+/// kernel-timed schedules are always delta 0).
+#[derive(Debug, Clone, Copy)]
+struct TimedEvent {
+    delta: u32,
+    target: ComponentId,
+    kind: u64,
+}
+
+/// An event outside the wheel window, ordered by `(time, delta, seq)` so
+/// same-key entries cascade in FIFO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OverflowEntry {
+    time: SimTime,
+    delta: u32,
+    seq: u64,
+    target: ComponentId,
+    kind: u64,
+}
+
+/// The time wheel plus its overflow heap.
+#[derive(Debug)]
+pub(crate) struct TimeWheel {
+    /// `SLOTS` buckets; `slots[cursor]` holds time `start`.
+    slots: Vec<Vec<TimedEvent>>,
+    /// One bit per slot: non-empty buckets, for O(words) earliest-scan.
+    occupied: [u64; WORDS],
+    /// Absolute nanosecond of the slot at `cursor`; the window is
+    /// `[start, start + SLOTS)`.
+    start: u64,
+    /// Slot index corresponding to `start`.
+    cursor: usize,
+    /// Far-future and rewound schedules.
+    overflow: BinaryHeap<Reverse<OverflowEntry>>,
+    /// FIFO tie-break for overflow entries only.
+    overflow_seq: u64,
+    /// Total events (slots + overflow).
+    len: usize,
+}
+
+impl Default for TimeWheel {
+    fn default() -> TimeWheel {
+        TimeWheel {
+            slots: vec![Vec::new(); SLOTS],
+            occupied: [0; WORDS],
+            start: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            overflow_seq: 0,
+            len: 0,
+        }
+    }
+}
+
+impl TimeWheel {
+    /// Schedules `(target, kind)` at `(time, delta)` — O(1) inside the
+    /// window, heap push outside it.
+    pub fn push(&mut self, time: SimTime, delta: u32, target: ComponentId, kind: u64) {
+        let t = time.as_ns();
+        if t >= self.start && t - self.start < SLOTS as u64 {
+            let slot = (self.cursor + (t - self.start) as usize) % SLOTS;
+            self.slots[slot].push(TimedEvent {
+                delta,
+                target,
+                kind,
+            });
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.overflow.push(Reverse(OverflowEntry {
+                time,
+                delta,
+                seq: self.overflow_seq,
+                target,
+                kind,
+            }));
+            self.overflow_seq += 1;
+        }
+        self.len += 1;
+    }
+
+    /// The earliest pending timestamp across wheel and overflow.
+    pub fn next_time(&self) -> Option<SimTime> {
+        let slot = self
+            .earliest_slot_offset()
+            .map(|off| SimTime::from_ns(self.start + off as u64));
+        let heap = self.overflow.peek().map(|Reverse(e)| e.time);
+        match (slot, heap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Offset (in ticks ahead of the cursor) of the earliest occupied
+    /// slot, via a circular scan of the occupancy bitmap.
+    fn earliest_slot_offset(&self) -> Option<usize> {
+        let cw = self.cursor / 64;
+        let cb = self.cursor % 64;
+        let offset_of = |slot: usize| (slot + SLOTS - self.cursor) % SLOTS;
+        // Bits at and after the cursor within its word.
+        let head = self.occupied[cw] & (!0u64 << cb);
+        if head != 0 {
+            return Some(offset_of(cw * 64 + head.trailing_zeros() as usize));
+        }
+        // The remaining words, in circular order.
+        for i in 1..WORDS {
+            let wi = (cw + i) % WORDS;
+            let w = self.occupied[wi];
+            if w != 0 {
+                return Some(offset_of(wi * 64 + w.trailing_zeros() as usize));
+            }
+        }
+        // Bits before the cursor within its word (the wrap-around tail).
+        let tail = self.occupied[cw] & !(!0u64 << cb);
+        if tail != 0 {
+            return Some(offset_of(cw * 64 + tail.trailing_zeros() as usize));
+        }
+        None
+    }
+
+    /// Opens timestamp `t` — which must be [`next_time`](Self::next_time) —
+    /// moving every event scheduled at `t` into `staging` in FIFO-per-delta
+    /// order.
+    pub fn open_into(&mut self, t: SimTime, staging: &mut DeltaStaging) {
+        let tn = t.as_ns();
+        if tn >= self.start {
+            self.advance_to(tn);
+            let slot = self.cursor;
+            if self.occupied[slot / 64] & (1 << (slot % 64)) != 0 {
+                self.occupied[slot / 64] &= !(1 << (slot % 64));
+                self.len -= self.slots[slot].len();
+                for ev in self.slots[slot].drain(..) {
+                    staging.push(ev.delta, ev.target, ev.kind);
+                }
+            }
+        }
+        // Rewound schedules (`Simulation::schedule` at a past time between
+        // runs) live in the overflow heap below `start`; drain the ones at
+        // exactly `t`.
+        while matches!(self.overflow.peek(), Some(Reverse(e)) if e.time == t) {
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            staging.push(e.delta, e.target, e.kind);
+            self.len -= 1;
+        }
+    }
+
+    /// Moves the window forward so `start == tn`, cascading overflow
+    /// entries that the new window covers into their slots.
+    ///
+    /// `tn` is the earliest pending timestamp, so every slot the cursor
+    /// skips over is necessarily empty and no event is ever passed by.
+    fn advance_to(&mut self, tn: u64) {
+        debug_assert!(tn >= self.start, "wheel cannot advance backwards");
+        if tn == self.start {
+            return;
+        }
+        let dist = tn - self.start;
+        if dist >= SLOTS as u64 {
+            debug_assert!(
+                self.occupied == [0; WORDS],
+                "jumping past the window with occupied slots"
+            );
+            self.cursor = 0;
+        } else {
+            self.cursor = (self.cursor + dist as usize) % SLOTS;
+        }
+        self.start = tn;
+        let end = self.start + SLOTS as u64;
+        while matches!(self.overflow.peek(), Some(Reverse(e)) if e.time.as_ns() < end) {
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            debug_assert!(e.time.as_ns() >= self.start, "cascade below window");
+            let slot = (self.cursor + (e.time.as_ns() - self.start) as usize) % SLOTS;
+            self.slots[slot].push(TimedEvent {
+                delta: e.delta,
+                target: e.target,
+                kind: e.kind,
+            });
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+        }
+    }
+
+    /// Total pending timed events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(n: usize) -> ComponentId {
+        ComponentId(n)
+    }
+
+    fn drain_at(wheel: &mut TimeWheel, t: SimTime) -> Vec<(u32, usize, u64)> {
+        let mut staging = DeltaStaging::default();
+        staging.open(t);
+        wheel.open_into(t, &mut staging);
+        let mut out = Vec::new();
+        let mut round = Vec::new();
+        while let Some(d) = staging.next_round(&mut round) {
+            out.extend(round.drain(..).map(|e| (d, e.target.index(), e.kind)));
+        }
+        out
+    }
+
+    #[test]
+    fn in_window_events_come_back_in_time_then_fifo_order() {
+        let mut w = TimeWheel::default();
+        w.push(SimTime::from_ns(20), 0, cid(0), 1);
+        w.push(SimTime::from_ns(10), 0, cid(1), 2);
+        w.push(SimTime::from_ns(10), 0, cid(2), 3);
+        assert_eq!(w.next_time(), Some(SimTime::from_ns(10)));
+        assert_eq!(
+            drain_at(&mut w, SimTime::from_ns(10)),
+            vec![(0, 1, 2), (0, 2, 3)]
+        );
+        assert_eq!(w.next_time(), Some(SimTime::from_ns(20)));
+        assert_eq!(drain_at(&mut w, SimTime::from_ns(20)), vec![(0, 0, 1)]);
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_time(), None);
+    }
+
+    #[test]
+    fn far_future_overflow_cascades_on_advance() {
+        let mut w = TimeWheel::default();
+        let far = SimTime::from_ns(10_000);
+        w.push(far, 0, cid(0), 7); // outside [0, 256)
+        assert_eq!(w.overflow.len(), 1);
+        w.push(SimTime::from_ns(5), 0, cid(1), 8);
+        assert_eq!(w.next_time(), Some(SimTime::from_ns(5)));
+        assert_eq!(drain_at(&mut w, SimTime::from_ns(5)), vec![(0, 1, 8)]);
+        // Advancing to the far time pulls it out of the heap.
+        assert_eq!(w.next_time(), Some(far));
+        assert_eq!(drain_at(&mut w, far), vec![(0, 0, 7)]);
+        assert!(w.overflow.is_empty());
+    }
+
+    #[test]
+    fn window_rollover_keeps_slot_mapping_consistent() {
+        let mut w = TimeWheel::default();
+        // Walk the window far past several rotations in small hops.
+        let mut t = 0;
+        let mut expect = Vec::new();
+        for k in 0..1000u64 {
+            t += 97; // co-prime with 256: every slot index gets exercised
+            w.push(SimTime::from_ns(t), 0, cid(0), k);
+            expect.push((t, k));
+        }
+        let mut got = Vec::new();
+        while let Some(next) = w.next_time() {
+            for (_, _, kind) in drain_at(&mut w, next) {
+                got.push((next.as_ns(), kind));
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn same_timestamp_mixed_residency_preserves_push_order() {
+        let mut w = TimeWheel::default();
+        let t = SimTime::from_ns(300); // outside the initial window
+        w.push(t, 0, cid(0), 0); // overflow
+        w.push(SimTime::from_ns(1), 0, cid(9), 99);
+        // Advance to 1 does not yet cover 300.
+        assert_eq!(drain_at(&mut w, SimTime::from_ns(1)), vec![(0, 9, 99)]);
+        // Advance to 290 covers 300: the overflow entry cascades now...
+        w.push(SimTime::from_ns(290), 0, cid(9), 98);
+        assert_eq!(drain_at(&mut w, SimTime::from_ns(290)), vec![(0, 9, 98)]);
+        // ...so this later direct push lands behind it.
+        w.push(t, 0, cid(1), 1);
+        assert_eq!(drain_at(&mut w, t), vec![(0, 0, 0), (0, 1, 1)]);
+    }
+
+    #[test]
+    fn rewound_schedule_is_served_from_overflow() {
+        let mut w = TimeWheel::default();
+        w.push(SimTime::from_ns(500), 0, cid(0), 1);
+        assert_eq!(drain_at(&mut w, SimTime::from_ns(500)), vec![(0, 0, 1)]);
+        // The window now starts at 500; a past push must still be served.
+        w.push(SimTime::from_ns(3), 0, cid(1), 2);
+        assert_eq!(w.next_time(), Some(SimTime::from_ns(3)));
+        assert_eq!(drain_at(&mut w, SimTime::from_ns(3)), vec![(0, 1, 2)]);
+        assert_eq!(w.len(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Scheduler + checker benchmark smokes with machine-readable output.
+#
+# Runs the kernel_throughput comparison (two-tier scheduler vs reference
+# heap) and writes BENCH_kernel.json to the repo root, then a
+# checker_overhead smoke. Knobs (defaults chosen for a minutes-scale run):
+#
+#   ABV_BENCH_BUDGET_MS  per-cell time budget      (default 1000)
+#   ABV_BENCH_SIZE       RTL workload size         (default 400)
+#   ABV_BENCH_STRESS     stress-mix component count (default 10000)
+#
+# Usage: scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+: "${ABV_BENCH_BUDGET_MS:=1000}"
+: "${ABV_BENCH_SIZE:=400}"
+: "${ABV_BENCH_STRESS:=10000}"
+export ABV_BENCH_BUDGET_MS ABV_BENCH_SIZE ABV_BENCH_STRESS
+
+echo "==> cargo bench -p abv-bench --bench kernel_throughput -> BENCH_kernel.json"
+ABV_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p abv-bench --bench kernel_throughput
+
+echo "==> cargo bench -p abv-bench --bench checker_overhead (smoke)"
+ABV_BENCH_BUDGET_MS=100 ABV_BENCH_SIZE=20 \
+    cargo bench -p abv-bench --bench checker_overhead
+
+echo "Wrote BENCH_kernel.json."

@@ -23,8 +23,15 @@ cargo test -q --test trace_determinism
 echo "==> cargo test -q -p abv-checker --test differential"
 cargo test -q -p abv-checker --test differential
 
+echo "==> cargo test -q -p desim --test sched_differential"
+cargo test -q -p desim --test sched_differential
+
 echo "==> cargo bench -p abv-bench --bench checker_overhead (smoke)"
 ABV_BENCH_BUDGET_MS=100 ABV_BENCH_SIZE=20 cargo bench -p abv-bench --bench checker_overhead
+
+echo "==> cargo bench -p abv-bench --bench kernel_throughput (smoke)"
+ABV_BENCH_BUDGET_MS=100 ABV_BENCH_SIZE=20 ABV_BENCH_STRESS=500 \
+    cargo bench -p abv-bench --bench kernel_throughput
 
 echo "==> cargo doc --no-deps -p abv-obs (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abv-obs

@@ -47,6 +47,31 @@ fn merged_report_is_byte_identical_at_1_2_and_8_workers() {
 }
 
 #[test]
+fn merged_report_is_byte_identical_under_both_schedulers() {
+    // The two-tier kernel must be observationally equivalent to the
+    // retained reference heap end-to-end: the same campaign, run entirely
+    // on either scheduler at several worker counts, merges to the same
+    // report bytes.
+    let plan = mixed_plan();
+    let baseline = run_campaign(&plan, 1)
+        .expect("valid plan")
+        .deterministic_summary();
+    desim::set_default_scheduler(desim::SchedulerKind::Reference);
+    let result = std::panic::catch_unwind(|| {
+        for workers in [1, 2, 8] {
+            let on_reference = run_campaign(&plan, workers).expect("valid plan");
+            assert_eq!(
+                on_reference.deterministic_summary(),
+                baseline,
+                "reference scheduler at {workers} workers diverged from the two-tier report"
+            );
+        }
+    });
+    desim::set_default_scheduler(desim::SchedulerKind::TwoTier);
+    result.expect("scheduler comparison failed");
+}
+
+#[test]
 fn first_failure_seed_reproduces_the_failure_solo() {
     let plan = mixed_plan();
     let report = run_campaign(&plan, 8).expect("valid plan");

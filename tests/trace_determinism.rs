@@ -46,6 +46,36 @@ fn deterministic_trace_is_identical_at_1_and_4_workers() {
 }
 
 #[test]
+fn deterministic_trace_is_identical_under_both_schedulers() {
+    // Byte-identical merged traces — including kernel counter samples,
+    // whose timestamps and values depend on the exact delta-cycle walk —
+    // pin the two-tier scheduler to the reference heap end-to-end.
+    let plan = traced_plan();
+    let two_tier = run_campaign_with(&plan, 2, TraceSettings::deterministic()).expect("valid plan");
+    desim::set_default_scheduler(desim::SchedulerKind::Reference);
+    let result = std::panic::catch_unwind(|| {
+        for workers in [1, 4] {
+            let on_reference = run_campaign_with(&plan, workers, TraceSettings::deterministic())
+                .expect("valid plan");
+            assert_eq!(
+                on_reference.trace, two_tier.trace,
+                "trace under the reference scheduler at {workers} workers diverged"
+            );
+        }
+    });
+    desim::set_default_scheduler(desim::SchedulerKind::TwoTier);
+    result.expect("scheduler comparison failed");
+    assert_eq!(
+        chrome_trace_json(&two_tier.trace),
+        chrome_trace_json(
+            &run_campaign_with(&plan, 1, TraceSettings::deterministic())
+                .expect("valid plan")
+                .trace
+        )
+    );
+}
+
+#[test]
 fn deterministic_trace_omits_wall_clock_fields() {
     let plan = traced_plan();
     let report = run_campaign_with(&plan, 2, TraceSettings::deterministic()).expect("valid plan");
