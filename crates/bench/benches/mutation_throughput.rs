@@ -1,0 +1,101 @@
+//! Mutation-campaign throughput bench: mutants/second of the full
+//! kill-matrix campaign (all IPs × catalogue × RTL/TLM-CA/TLM-AT) at
+//! 1, 2 and 8 workers.
+//!
+//! Every worker count executes the *same* plan and must produce a
+//! byte-identical kill-matrix JSON — the scaling numbers are meaningful
+//! only because the result provably does not depend on scheduling.
+//!
+//! Plain timing harness (`harness = false`); run with
+//! `cargo bench --bench mutation_throughput`. Knobs:
+//!
+//! - `ABV_BENCH_SIZE`: workload size per run (default 8, the tier-1
+//!   configuration);
+//! - `ABV_BENCH_BUDGET_MS`: per-cell time budget (default 1000);
+//! - `ABV_BENCH_JSON`: if set, write machine-readable results to this
+//!   path (consumed by `scripts/bench.sh` → `BENCH_mutation.json`).
+
+use std::time::{Duration, Instant};
+
+use abv_bench::stopwatch::budget;
+use abv_campaign::TraceSettings;
+use abv_mutate::{run_mutation, MutationPlan};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Cell {
+    workers: usize,
+    best: Duration,
+    mutants_per_sec: f64,
+}
+
+fn write_json(path: &str, mutants: usize, runs: usize, size: usize, cells: &[Cell]) {
+    let mut out = format!(
+        "{{\n  \"bench\": \"mutation_throughput\",\n  \"mutants\": {mutants},\n  \
+         \"runs\": {runs},\n  \"size\": {size},\n  \"cells\": [\n"
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"mutants_per_sec\": {:.1}}}{sep}\n",
+            c.workers,
+            c.best.as_secs_f64() * 1e3,
+            c.mutants_per_sec
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let size = env_usize("ABV_BENCH_SIZE", 8);
+    let plan = MutationPlan::new().size(size).seed(2015);
+    let mutants: usize = plan.designs.iter().map(|&d| plan.mutants(d).len()).sum();
+    let runs = plan.campaign_plan().total_runs();
+    println!("mutation_throughput ({mutants} mutants, {runs} runs, size {size})");
+
+    let mut cells = Vec::new();
+    let mut baseline_json: Option<String> = None;
+    for workers in [1usize, 2, 8] {
+        let go = || {
+            let start = Instant::now();
+            let outcome = run_mutation(&plan, workers, TraceSettings::off()).expect("valid plan");
+            (start.elapsed(), outcome.matrix.to_json())
+        };
+        let (_, expect) = go(); // warm-up
+        match &baseline_json {
+            None => baseline_json = Some(expect.clone()),
+            Some(b) => assert_eq!(b, &expect, "kill matrix depends on worker count"),
+        }
+        let budget = budget();
+        let started = Instant::now();
+        let mut best = Duration::MAX;
+        let mut iters = 0;
+        while iters < 3 || (started.elapsed() < budget && iters < 30) {
+            let (wall, json) = go();
+            assert_eq!(json, expect, "campaign is not deterministic");
+            best = best.min(wall);
+            iters += 1;
+        }
+        let mutants_per_sec = mutants as f64 / best.as_secs_f64();
+        println!(
+            "  workers {workers}  best {:>8.3} ms  {mutants_per_sec:>8.1} mutants/s",
+            best.as_secs_f64() * 1e3
+        );
+        cells.push(Cell {
+            workers,
+            best,
+            mutants_per_sec,
+        });
+    }
+
+    if let Ok(path) = std::env::var("ABV_BENCH_JSON") {
+        write_json(&path, mutants, runs, size, &cells);
+    }
+}

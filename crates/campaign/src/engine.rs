@@ -88,10 +88,15 @@ pub fn execute_run(spec: &RunSpec) -> RunOutcome {
 /// See [`execute_run`].
 #[must_use]
 pub fn execute_run_with(spec: &RunSpec, settings: TraceSettings) -> RunOutcome {
-    let props = spec
-        .spec
-        .checkers
-        .select(designs::properties_at(spec.spec.design, spec.spec.level));
+    let all = if matches!(
+        spec.spec.checkers,
+        crate::plan::CheckerMode::ExpectedPassing
+    ) {
+        designs::passing_properties_at(spec.spec.design, spec.spec.level)
+    } else {
+        designs::properties_at(spec.spec.design, spec.spec.level)
+    };
+    let props = spec.spec.checkers.select(all);
     let mut built = designs::build(
         spec.spec.design,
         spec.spec.level,
@@ -267,6 +272,22 @@ mod tests {
             .expect("fault detected");
         assert_eq!(first.rep, 0, "earliest failing repetition wins");
         assert_eq!(first.seed, plan.run_specs()[0].seed);
+    }
+
+    #[test]
+    fn expected_passing_mode_excludes_review_failures() {
+        let cell = |mode| {
+            CampaignPlan::new("passing")
+                .cell(DesignKind::ColorConv, AbsLevel::TlmAt, mode)
+                .size(5)
+                .seed(0xBEEF)
+        };
+        // The full suite carries c9, a review-expected failure at TLM-AT;
+        // the expected-passing selection drops it and runs clean.
+        let all = run_campaign(&cell(CheckerMode::All), 1).expect("valid plan");
+        assert!(!all.all_pass());
+        let passing = run_campaign(&cell(CheckerMode::ExpectedPassing), 1).expect("valid plan");
+        assert!(passing.all_pass());
     }
 
     #[test]

@@ -23,16 +23,23 @@ pub enum CheckerMode {
     First(usize),
     /// The whole suite available at the cell's level.
     All,
+    /// The properties expected to *pass* at the cell's level — the suite
+    /// minus review-expected-fail entries (see
+    /// [`designs::passing_properties_at`]). Mutation campaigns use this so
+    /// a kill is always a genuine detection, never a known false alarm.
+    ExpectedPassing,
 }
 
 impl CheckerMode {
-    /// Parses `"none"`/`"without"`, `"all"`/`"with"`, or a number `n`
-    /// (meaning the first `n` properties).
+    /// Parses `"none"`/`"without"`, `"all"`/`"with"`,
+    /// `"passing"`/`"expected-passing"`, or a number `n` (meaning the
+    /// first `n` properties).
     #[must_use]
     pub fn parse(s: &str) -> Option<CheckerMode> {
         match s.to_ascii_lowercase().as_str() {
             "none" | "without" | "off" => Some(CheckerMode::None),
             "all" | "with" | "on" => Some(CheckerMode::All),
+            "passing" | "expected-passing" => Some(CheckerMode::ExpectedPassing),
             n => n.parse().ok().map(|n| {
                 if n == 0 {
                     CheckerMode::None
@@ -49,7 +56,7 @@ impl CheckerMode {
         match self {
             CheckerMode::None => Vec::new(),
             CheckerMode::First(n) => all.into_iter().take(n).collect(),
-            CheckerMode::All => all,
+            CheckerMode::All | CheckerMode::ExpectedPassing => all,
         }
     }
 }
@@ -60,6 +67,7 @@ impl fmt::Display for CheckerMode {
             CheckerMode::None => f.write_str("no checkers"),
             CheckerMode::First(n) => write!(f, "{n} checker(s)"),
             CheckerMode::All => f.write_str("all checkers"),
+            CheckerMode::ExpectedPassing => f.write_str("expected-passing checkers"),
         }
     }
 }
@@ -357,10 +365,19 @@ mod tests {
         assert_eq!(CheckerMode::parse("without"), Some(CheckerMode::None));
         assert_eq!(CheckerMode::parse("3"), Some(CheckerMode::First(3)));
         assert_eq!(CheckerMode::parse("0"), Some(CheckerMode::None));
+        assert_eq!(
+            CheckerMode::parse("passing"),
+            Some(CheckerMode::ExpectedPassing)
+        );
+        assert_eq!(
+            CheckerMode::parse("expected-passing"),
+            Some(CheckerMode::ExpectedPassing)
+        );
         assert_eq!(CheckerMode::parse("sideways"), None);
         let all = designs::properties_at(DesignKind::Des56, AbsLevel::Rtl);
         assert_eq!(CheckerMode::None.select(all.clone()).len(), 0);
         assert_eq!(CheckerMode::First(2).select(all.clone()).len(), 2);
+        assert_eq!(CheckerMode::ExpectedPassing.select(all.clone()).len(), 9);
         assert_eq!(CheckerMode::All.select(all).len(), 9);
     }
 }

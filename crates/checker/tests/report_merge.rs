@@ -1,0 +1,192 @@
+//! Property-style tests of the report merge algebra.
+//!
+//! Campaigns fold per-run [`PropertyReport`]s in work-list order but in
+//! arbitrary *groupings* (per worker, per cell, per campaign), so the
+//! merge must be associative with the empty report as identity. These
+//! tests pin that algebra over randomized reports: counters add, recorded
+//! failures concatenate up to the cap, high-water marks take the maximum,
+//! and the timeout/latency/memo bookkeeping merges component-wise.
+
+use abv_checker::{CheckReport, FailReason, Failure, PropertyReport, MAX_RECORDED_FAILURES};
+use tinyrng::TinyRng;
+
+fn arb_failure(rng: &mut TinyRng) -> Failure {
+    let fire_ns = rng.next_u64() % 1_000;
+    Failure {
+        fire_ns,
+        fail_ns: fire_ns + rng.next_u64() % 200,
+        reason: if rng.next_u64().is_multiple_of(2) {
+            FailReason::Violated
+        } else {
+            FailReason::MissedDeadline {
+                deadline_ns: fire_ns + 170,
+            }
+        },
+        residual: String::new(),
+    }
+}
+
+/// A random but self-consistent report: `timeout_fails` counts the missed
+/// deadlines among its failures, `failure_count` includes an overflowed
+/// remainder beyond the recorded list.
+fn arb_report(rng: &mut TinyRng, name: &str) -> PropertyReport {
+    let mut r = PropertyReport::new(name.to_owned());
+    r.activations = rng.next_u64() % 100;
+    r.vacuous = rng.next_u64() % 10;
+    r.completions = rng.next_u64() % 80;
+    r.pending = rng.next_u64() % 5;
+    r.max_live_instances = (rng.next_u64() % 40) as usize;
+    r.evaluations = rng.next_u64() % 10_000;
+    r.arena_nodes = (rng.next_u64() % 200) as usize;
+    r.memo_hits = rng.next_u64() % 500;
+    r.memo_misses = rng.next_u64() % 500;
+    for _ in 0..rng.next_u64() % 40 {
+        r.failures.push(arb_failure(rng));
+    }
+    r.failure_count = r.failures.len() as u64 + rng.next_u64() % 5;
+    r.timeout_fails = r
+        .failures
+        .iter()
+        .filter(|f| matches!(f.reason, FailReason::MissedDeadline { .. }))
+        .count() as u64;
+    for _ in 0..rng.next_u64() % 12 {
+        r.latency.record(rng.next_u64() % 600);
+    }
+    r
+}
+
+fn merged(a: &PropertyReport, b: &PropertyReport) -> PropertyReport {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+#[test]
+fn merge_is_associative() {
+    let mut rng = TinyRng::fork(0xA550C, 0);
+    for case in 0..100 {
+        let a = arb_report(&mut rng, "p");
+        let b = arb_report(&mut rng, "p");
+        let c = arb_report(&mut rng, "p");
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        assert_eq!(left, right, "case {case}");
+    }
+}
+
+#[test]
+fn empty_report_is_the_identity_element() {
+    let mut rng = TinyRng::fork(0x1D, 0);
+    for case in 0..100 {
+        let a = arb_report(&mut rng, "p");
+        let empty = PropertyReport::new("p".to_owned());
+        assert_eq!(merged(&empty, &a), a, "left identity, case {case}");
+        assert_eq!(merged(&a, &empty), a, "right identity, case {case}");
+    }
+}
+
+#[test]
+fn counters_add_and_high_water_marks_take_the_maximum() {
+    let mut rng = TinyRng::fork(0xC0DE, 0);
+    for case in 0..100 {
+        let a = arb_report(&mut rng, "p");
+        let b = arb_report(&mut rng, "p");
+        let m = merged(&a, &b);
+        assert_eq!(m.activations, a.activations + b.activations, "case {case}");
+        assert_eq!(m.vacuous, a.vacuous + b.vacuous);
+        assert_eq!(m.completions, a.completions + b.completions);
+        assert_eq!(m.pending, a.pending + b.pending);
+        assert_eq!(m.evaluations, a.evaluations + b.evaluations);
+        assert_eq!(m.failure_count, a.failure_count + b.failure_count);
+        assert_eq!(m.timeout_fails, a.timeout_fails + b.timeout_fails);
+        assert_eq!(m.memo_hits, a.memo_hits + b.memo_hits);
+        assert_eq!(m.memo_misses, a.memo_misses + b.memo_misses);
+        assert_eq!(
+            m.max_live_instances,
+            a.max_live_instances.max(b.max_live_instances)
+        );
+        assert_eq!(m.arena_nodes, a.arena_nodes.max(b.arena_nodes));
+    }
+}
+
+#[test]
+fn latency_histograms_merge_component_wise() {
+    let mut rng = TinyRng::fork(0x4157, 0);
+    for case in 0..100 {
+        let a = arb_report(&mut rng, "p");
+        let b = arb_report(&mut rng, "p");
+        let m = merged(&a, &b);
+        assert_eq!(m.latency.count(), a.latency.count() + b.latency.count());
+        assert_eq!(m.latency.sum(), a.latency.sum() + b.latency.sum());
+        assert_eq!(
+            m.latency.max(),
+            a.latency.max().max(b.latency.max()),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn failure_detail_concatenates_in_order_up_to_the_cap() {
+    let mut rng = TinyRng::fork(0xFA11, 0);
+    let mut acc = PropertyReport::new("p".to_owned());
+    let mut expected: Vec<Failure> = Vec::new();
+    let mut expected_count = 0u64;
+    for _ in 0..20 {
+        let next = arb_report(&mut rng, "p");
+        expected.extend(next.failures.iter().cloned());
+        expected_count += next.failure_count;
+        acc.merge(&next);
+    }
+    expected.truncate(MAX_RECORDED_FAILURES);
+    assert_eq!(acc.failures, expected, "first-come detail wins");
+    assert_eq!(acc.failures.len(), MAX_RECORDED_FAILURES, "cap reached");
+    assert_eq!(acc.failure_count, expected_count, "count is uncapped");
+}
+
+#[test]
+fn suite_merge_is_associative_with_the_empty_suite_as_identity() {
+    let mut rng = TinyRng::fork(0x5017E, 0);
+    let suite = |rng: &mut TinyRng| -> CheckReport {
+        ["p1", "p2", "p3"]
+            .iter()
+            .map(|name| arb_report(rng, name))
+            .collect()
+    };
+    for case in 0..50 {
+        let a = suite(&mut rng);
+        let b = suite(&mut rng);
+        let c = suite(&mut rng);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "case {case}");
+
+        let mut adopted = CheckReport::new();
+        adopted.merge(&a);
+        assert_eq!(adopted, a, "empty accumulator adopts, case {case}");
+        adopted.merge(&CheckReport::new());
+        assert_eq!(adopted, a, "empty right operand is a no-op");
+    }
+}
+
+#[test]
+fn merged_timeout_fails_track_missed_deadlines_across_runs() {
+    let mut rng = TinyRng::fork(0x7E0, 0);
+    let mut acc = PropertyReport::new("p".to_owned());
+    let mut deadlines = 0u64;
+    for _ in 0..10 {
+        let run = arb_report(&mut rng, "p");
+        deadlines += run.timeout_fails;
+        acc.merge(&run);
+    }
+    assert_eq!(acc.timeout_fails, deadlines);
+    assert!(
+        acc.timeout_fails <= acc.failure_count,
+        "timeouts are a subset of failures"
+    );
+}

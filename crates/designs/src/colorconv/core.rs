@@ -98,6 +98,15 @@ pub enum ConvMutation {
     CorruptLuma,
     /// `out_valid` never asserted.
     DropValid,
+    /// `out_valid` stuck at 1 every cycle.
+    StuckValid,
+    /// The second accepted pixel never enters the pipeline.
+    DropPixel,
+    /// One luma bit flipped after the clamp stage (seeded position).
+    FlipLuma {
+        /// Which luma bit (mod 8) to flip.
+        bit: u8,
+    },
 }
 
 /// Cycle-accurate 8-stage ColorConv pipeline.
@@ -105,6 +114,8 @@ pub enum ConvMutation {
 pub struct ColorConvCore {
     mutation: ConvMutation,
     pipe: [Option<Work>; 9],
+    /// Pixels accepted so far (drives [`ConvMutation::DropPixel`]).
+    seen: u32,
     outputs: ConvOutputs,
 }
 
@@ -124,6 +135,7 @@ impl ColorConvCore {
         ColorConvCore {
             mutation,
             pipe: [None; 9],
+            seen: 0,
             outputs: ConvOutputs::default(),
         }
     }
@@ -148,14 +160,20 @@ impl ColorConvCore {
         for stage in (1..depth).rev() {
             self.pipe[stage] = self.pipe[stage - 1].take().map(|w| stage_fn(stage, w));
         }
-        self.pipe[0] = px_valid.then(|| Work {
-            r: i32::from(r),
-            g: i32::from(g),
-            b: i32::from(b),
-            y: 0,
-            cb: 0,
-            cr: 0,
-        });
+        self.pipe[0] = if px_valid {
+            let drop = matches!(self.mutation, ConvMutation::DropPixel) && self.seen == 1;
+            self.seen += 1;
+            (!drop).then(|| Work {
+                r: i32::from(r),
+                g: i32::from(g),
+                b: i32::from(b),
+                y: 0,
+                cb: 0,
+                cr: 0,
+            })
+        } else {
+            None
+        };
 
         self.outputs.out_valid = false;
         if let Some(mut w) = exiting {
@@ -163,13 +181,18 @@ impl ColorConvCore {
             for stage in depth..=7 {
                 w = stage_fn(stage, w);
             }
-            if matches!(self.mutation, ConvMutation::CorruptLuma) {
-                w.y = 0;
+            match self.mutation {
+                ConvMutation::CorruptLuma => w.y = 0,
+                ConvMutation::FlipLuma { bit } => w.y ^= 1 << (bit % 8),
+                _ => {}
             }
             self.outputs.y = w.y as u64;
             self.outputs.cb = w.cb as u64;
             self.outputs.cr = w.cr as u64;
             self.outputs.out_valid = !matches!(self.mutation, ConvMutation::DropValid);
+        }
+        if matches!(self.mutation, ConvMutation::StuckValid) {
+            self.outputs.out_valid = true;
         }
         self.outputs.ov_next_cycle = self.pipe[depth - 1].is_some();
         self.outputs
@@ -180,8 +203,10 @@ impl ColorConvCore {
     #[must_use]
     pub fn convert_with_mutation(mutation: ConvMutation, r: u8, g: u8, b: u8) -> Ycbcr {
         let mut px = algo::convert(r, g, b);
-        if matches!(mutation, ConvMutation::CorruptLuma) {
-            px.y = 0;
+        match mutation {
+            ConvMutation::CorruptLuma => px.y = 0,
+            ConvMutation::FlipLuma { bit } => px.y ^= 1 << (bit % 8),
+            _ => {}
         }
         px
     }
@@ -285,6 +310,40 @@ mod tests {
         let mut core = ColorConvCore::with_mutation(ConvMutation::DropValid);
         let outs = run_single(&mut core, 100, 100, 100, 12);
         assert!(outs.iter().all(|o| !o.out_valid));
+    }
+
+    #[test]
+    fn stuck_valid_strobes_every_cycle() {
+        let mut core = ColorConvCore::with_mutation(ConvMutation::StuckValid);
+        let outs = run_single(&mut core, 100, 100, 100, 12);
+        assert!(outs.iter().all(|o| o.out_valid));
+        let expect = algo::convert(100, 100, 100);
+        assert_eq!(outs[8].y, u64::from(expect.y), "data path is untouched");
+    }
+
+    #[test]
+    fn drop_pixel_swallows_the_second_pixel() {
+        let mut core = ColorConvCore::with_mutation(ConvMutation::DropPixel);
+        let mut strobes = Vec::new();
+        for c in 0..30 {
+            let o = core.step(c < 3, 10, 20, 30);
+            if o.out_valid {
+                strobes.push(c);
+            }
+        }
+        assert_eq!(strobes, vec![8, 10], "pixel 1 never exits");
+    }
+
+    #[test]
+    fn flip_luma_perturbs_every_black_pixel() {
+        for bit in 0..8 {
+            let mut core = ColorConvCore::with_mutation(ConvMutation::FlipLuma { bit });
+            let outs = run_single(&mut core, 0, 0, 0, 10);
+            assert!(outs[8].out_valid);
+            assert_ne!(outs[8].y, 16, "bit {bit} leaves black luma intact");
+            let px = ColorConvCore::convert_with_mutation(ConvMutation::FlipLuma { bit }, 0, 0, 0);
+            assert_eq!(u64::from(px.y), outs[8].y, "functional path agrees");
+        }
     }
 
     #[test]

@@ -182,7 +182,10 @@ impl Component for ConvTlmAt {
                 ctx.write(self.r, u64::from(px.r));
                 ctx.write(self.g, u64::from(px.g));
                 ctx.write(self.b, u64::from(px.b));
-                ctx.write(self.out_valid, 0);
+                ctx.write(
+                    self.out_valid,
+                    u64::from(matches!(self.mutation, ConvMutation::StuckValid)),
+                );
                 self.bus.publish(
                     ctx,
                     Transaction::write(
@@ -191,7 +194,10 @@ impl Component for ConvTlmAt {
                         ev.time,
                     ),
                 );
-                ctx.schedule_self(self.read_delay_ns(), (ev.kind & !0b11) | OP_READ);
+                let swallowed = matches!(self.mutation, ConvMutation::DropPixel) && index == 1;
+                if !swallowed {
+                    ctx.schedule_self(self.read_delay_ns(), (ev.kind & !0b11) | OP_READ);
+                }
                 if self.strict {
                     ctx.schedule_self(CLOCK_PERIOD_NS, (ev.kind & !0b11) | OP_STROBE_RELEASE);
                 }
@@ -549,6 +555,39 @@ mod tests {
         built.run();
         let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
         assert!(report.property("c4").expect("c4").failure_count > 0);
+    }
+
+    #[test]
+    fn at_drop_pixel_swallows_the_second_request() {
+        let w = ConvWorkload::new(vec![
+            Pixel { r: 1, g: 2, b: 3 },
+            Pixel { r: 4, g: 5, b: 6 },
+            Pixel { r: 7, g: 8, b: 9 },
+        ]);
+        let mut built = build_tlm_at(
+            &w,
+            ConvMutation::DropPixel,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        built.run();
+        // Three writes, two completions: pixel 1 never converts.
+        assert_eq!(built.bus.published(), 5);
+    }
+
+    #[test]
+    fn at_stuck_valid_raises_out_valid_at_the_request() {
+        let w = one_pixel();
+        let mut built = build_tlm_at(
+            &w,
+            ConvMutation::StuckValid,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
+        built.run();
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        assert_eq!(trace.steps()[0].signal("px_valid"), Some(1));
+        assert_eq!(trace.steps()[0].signal("out_valid"), Some(1));
+        assert_eq!(trace.steps()[0].signal("y"), Some(0), "no result yet");
     }
 
     #[test]

@@ -40,10 +40,18 @@ pub enum DesMutation {
     LatencyShort,
     /// Result produced one cycle late (latency 18).
     LatencyLong,
-    /// Result block XOR-corrupted.
+    /// Result block forced to zero.
     CorruptData,
     /// `rdy` never asserted.
     DropReady,
+    /// `rdy` stuck at 1 every cycle.
+    StuckControl,
+    /// The second accepted strobe is silently swallowed: its block never
+    /// enters the round pipeline.
+    DropTransaction,
+    /// Every accepted block is elaborated twice back-to-back, keeping the
+    /// core busy for 34 cycles and swallowing strobes in that window.
+    DuplicateTransaction,
 }
 
 /// Cycle-accurate DES-56 core state machine.
@@ -55,6 +63,12 @@ pub struct Des56Core {
     decrypt: bool,
     /// Cycles since capture; `0` = idle.
     phase: u32,
+    /// Strobes accepted while idle (drives [`DesMutation::DropTransaction`]).
+    seen: u32,
+    /// The captured block, kept for [`DesMutation::DuplicateTransaction`].
+    block: (u64, bool),
+    /// True while re-running the captured block a second time.
+    dup_pending: bool,
     outputs: DesOutputs,
 }
 
@@ -77,8 +91,25 @@ impl Des56Core {
             state: RoundState { l: 0, r: 0 },
             decrypt: false,
             phase: 0,
+            seen: 0,
+            block: (0, false),
+            dup_pending: false,
             outputs: DesOutputs::default(),
         }
+    }
+
+    /// Accepts (or, under [`DesMutation::DropTransaction`], swallows) a
+    /// strobed block while the core is idle.
+    fn capture(&mut self, indata: u64, decrypt: bool) {
+        let drop = matches!(self.mutation, DesMutation::DropTransaction) && self.seen == 1;
+        self.seen += 1;
+        if drop {
+            return;
+        }
+        self.block = (indata, decrypt);
+        self.state = RoundState::load(indata);
+        self.decrypt = decrypt;
+        self.phase = 1;
     }
 
     /// True while an elaboration is in flight.
@@ -96,16 +127,14 @@ impl Des56Core {
             _ => (17, 16),
         };
 
-        self.outputs.rdy = false;
+        self.outputs.rdy = matches!(self.mutation, DesMutation::StuckControl);
         self.outputs.rdy_next_cycle = false;
         self.outputs.rdy_next_next_cycle = false;
 
         if self.phase == 0 {
             if ds {
                 // e0: capture.
-                self.state = RoundState::load(indata);
-                self.decrypt = decrypt;
-                self.phase = 1;
+                self.capture(indata, decrypt);
             }
             return self.outputs;
         }
@@ -127,15 +156,22 @@ impl Des56Core {
             }
             let mut out = self.state.output();
             if matches!(self.mutation, DesMutation::CorruptData) {
-                out ^= 0xFF;
+                out = 0;
             }
             self.outputs.out = out;
-            self.phase = 0;
-            // Back-to-back capture on the completion cycle.
-            if ds {
-                self.state = RoundState::load(indata);
-                self.decrypt = decrypt;
+            if matches!(self.mutation, DesMutation::DuplicateTransaction) && !self.dup_pending {
+                // Re-elaborate the same block; strobes stay swallowed.
+                self.dup_pending = true;
+                self.state = RoundState::load(self.block.0);
+                self.decrypt = self.block.1;
                 self.phase = 1;
+            } else {
+                self.dup_pending = false;
+                self.phase = 0;
+                // Back-to-back capture on the completion cycle.
+                if ds {
+                    self.capture(indata, decrypt);
+                }
             }
         } else {
             self.outputs.rdy_next_cycle = self.phase == predict_base;
@@ -249,11 +285,11 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_data_mutation_flips_bits() {
+    fn corrupt_data_mutation_zeroes_the_block() {
         let mut core = Des56Core::with_mutation(KEY, DesMutation::CorruptData);
         let outs = run(&mut core, PLAIN, false, 20);
         assert!(outs[17].rdy);
-        assert_eq!(outs[17].out, CIPHER ^ 0xFF);
+        assert_eq!(outs[17].out, 0);
     }
 
     #[test]
@@ -261,5 +297,54 @@ mod tests {
         let mut core = Des56Core::with_mutation(KEY, DesMutation::DropReady);
         let outs = run(&mut core, PLAIN, false, 25);
         assert!(outs.iter().all(|o| !o.rdy));
+    }
+
+    #[test]
+    fn stuck_control_mutation_forces_rdy_every_cycle() {
+        let mut core = Des56Core::with_mutation(KEY, DesMutation::StuckControl);
+        let outs = run(&mut core, PLAIN, false, 20);
+        assert!(outs.iter().all(|o| o.rdy));
+        assert_eq!(outs[17].out, CIPHER, "data path is untouched");
+    }
+
+    #[test]
+    fn drop_transaction_mutation_swallows_the_second_block() {
+        let mut core = Des56Core::with_mutation(KEY, DesMutation::DropTransaction);
+        let first = run(&mut core, PLAIN, false, 20);
+        assert!(first[17].rdy, "first block completes normally");
+        let second = run(&mut core, CIPHER, true, 20);
+        assert!(
+            second.iter().all(|o| !o.rdy),
+            "second block never elaborated"
+        );
+        let third = run(&mut core, CIPHER, true, 20);
+        assert!(third[17].rdy, "third block completes normally");
+        assert_eq!(third[17].out, PLAIN);
+    }
+
+    #[test]
+    fn duplicate_transaction_mutation_emits_twice_and_stays_busy() {
+        let mut core = Des56Core::with_mutation(KEY, DesMutation::DuplicateTransaction);
+        let outs = run(&mut core, PLAIN, false, 40);
+        for (cycle, o) in outs.iter().enumerate() {
+            assert_eq!(
+                o.rdy,
+                cycle == 17 || cycle == 34,
+                "rdy wrong at cycle {cycle}"
+            );
+        }
+        assert_eq!(outs[17].out, CIPHER);
+        assert_eq!(outs[34].out, CIPHER, "same block re-elaborated");
+        // A strobe inside the duplicate window is swallowed.
+        let mut core = Des56Core::with_mutation(KEY, DesMutation::DuplicateTransaction);
+        core.step(true, PLAIN, false);
+        for c in 1..=20 {
+            let o = core.step(c == 20, CIPHER, true); // strobe at cycle 20: busy
+            assert_eq!(o.rdy, c == 17);
+        }
+        for c in 21..40 {
+            let o = core.step(false, 0, false);
+            assert_eq!(o.rdy, c == 34, "only the duplicate completes");
+        }
     }
 }

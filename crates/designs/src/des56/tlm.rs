@@ -145,6 +145,9 @@ struct Des56TlmAt {
     mutation: DesMutation,
     workload: DesWorkload,
     strict: bool,
+    /// First edge at which the core is idle again
+    /// ([`DesMutation::DuplicateTransaction`] busy window).
+    busy_until_edge: u64,
     ds: SignalId,
     indata: SignalId,
     mode: SignalId,
@@ -173,10 +176,26 @@ impl Component for Des56TlmAt {
                 ctx.write(self.ds, 1);
                 ctx.write(self.indata, block.data);
                 ctx.write(self.mode, u64::from(block.decrypt));
-                ctx.write(self.rdy, 0);
+                ctx.write(
+                    self.rdy,
+                    u64::from(matches!(self.mutation, DesMutation::StuckControl)),
+                );
                 self.bus
                     .publish(ctx, Transaction::write(0, block.data, ev.time));
-                ctx.schedule_self(self.read_delay_ns(), (ev.kind & !0b11) | OP_READ);
+                let edge = ev.time.as_ns() / CLOCK_PERIOD_NS;
+                let swallowed = match self.mutation {
+                    DesMutation::DropTransaction => index == 1,
+                    DesMutation::DuplicateTransaction => edge < self.busy_until_edge,
+                    _ => false,
+                };
+                if !swallowed {
+                    ctx.schedule_self(self.read_delay_ns(), (ev.kind & !0b11) | OP_READ);
+                    if matches!(self.mutation, DesMutation::DuplicateTransaction) {
+                        // The faulty core re-elaborates the block once more.
+                        self.busy_until_edge = edge + 2 * u64::from(Des56Core::LATENCY);
+                        ctx.schedule_self(2 * self.read_delay_ns(), (ev.kind & !0b11) | OP_READ);
+                    }
+                }
                 if self.strict {
                     ctx.schedule_self(CLOCK_PERIOD_NS, (ev.kind & !0b11) | OP_STROBE_RELEASE);
                 }
@@ -189,13 +208,16 @@ impl Component for Des56TlmAt {
                 let block = self.workload.blocks[index];
                 let mut result = algo::apply(block.data, &self.ks, block.decrypt);
                 if matches!(self.mutation, DesMutation::CorruptData) {
-                    result ^= 0xFF;
+                    result = 0;
                 }
                 ctx.write(self.ds, 0);
                 ctx.write(self.out, result);
-                if !matches!(self.mutation, DesMutation::DropReady) {
-                    ctx.write(self.rdy, 1);
+                if matches!(self.mutation, DesMutation::DropReady) {
+                    // The faulty IP never raises `rdy`: no completion
+                    // transaction is observable at all.
+                    return;
                 }
+                ctx.write(self.rdy, 1);
                 self.bus.publish(ctx, Transaction::read(0, result, ev.time));
                 if self.strict {
                     ctx.schedule_self(CLOCK_PERIOD_NS, (ev.kind & !0b11) | OP_RDY_CLEAR);
@@ -241,6 +263,7 @@ pub fn build_tlm_at(workload: &DesWorkload, mutation: DesMutation, style: Coding
         mutation,
         workload: workload.clone(),
         strict,
+        busy_until_edge: 0,
         ds,
         indata,
         mode,
@@ -353,5 +376,75 @@ mod tests {
     #[should_panic(expected = "use build_tlm_ca")]
     fn at_builder_rejects_ca_style() {
         let _ = build_tlm_at(&one_block(), DesMutation::None, CodingStyle::CycleAccurate);
+    }
+
+    fn two_blocks() -> DesWorkload {
+        DesWorkload::new(vec![
+            DesBlock {
+                data: 0x0123456789ABCDEF,
+                decrypt: false,
+            },
+            DesBlock {
+                data: 0xFEDCBA9876543210,
+                decrypt: false,
+            },
+        ])
+    }
+
+    #[test]
+    fn tlm_at_drop_ready_publishes_no_completion() {
+        let w = one_block();
+        let mut built = build_tlm_at(
+            &w,
+            DesMutation::DropReady,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        built.run();
+        assert_eq!(built.bus.published(), 1, "only the request is observable");
+    }
+
+    #[test]
+    fn tlm_at_drop_transaction_swallows_second_request() {
+        let w = two_blocks();
+        let mut built = build_tlm_at(
+            &w,
+            DesMutation::DropTransaction,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        built.run();
+        // Two writes, but only the first request completes.
+        assert_eq!(built.bus.published(), 3);
+    }
+
+    #[test]
+    fn tlm_at_duplicate_transaction_completes_twice_and_swallows_busy_strobes() {
+        let w = two_blocks();
+        let mut built = build_tlm_at(
+            &w,
+            DesMutation::DuplicateTransaction,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
+        built.sim.run_until(SimTime::from_ns(1000));
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        // Request 0 at 20 ns completes at 190 and again at 360; the request
+        // at 220 ns lands in the busy window and never completes.
+        let times: Vec<u64> = trace.steps().iter().map(|s| s.time_ns).collect();
+        assert_eq!(times, vec![20, 190, 220, 360]);
+    }
+
+    #[test]
+    fn tlm_at_stuck_control_raises_rdy_at_the_request() {
+        let w = one_block();
+        let mut built = build_tlm_at(
+            &w,
+            DesMutation::StuckControl,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
+        built.run();
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        assert_eq!(trace.steps()[0].signal("ds"), Some(1));
+        assert_eq!(trace.steps()[0].signal("rdy"), Some(1));
     }
 }

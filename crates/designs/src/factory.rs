@@ -121,6 +121,10 @@ impl AbsLevel {
 
 /// An optional injected fault, selected design-independently; each maps to
 /// the IP's corresponding mutation.
+///
+/// Not every IP supports every fault — [`Fault::catalogue`] lists the
+/// supported set per design, and [`build`] returns
+/// [`BuildError::UnsupportedFault`] for pairs outside it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Fault {
     /// Correct behaviour.
@@ -129,6 +133,91 @@ pub enum Fault {
     /// The IP's output appears one cycle early — caught by the latency
     /// properties at every level.
     LatencyShort,
+    /// The IP's output appears one cycle late.
+    LatencyLong,
+    /// The IP's payload is corrupted out of its legal range (DES56 emits a
+    /// zero block, ColorConv zeroes the luma, FIR exceeds its 16-bit
+    /// bound).
+    CorruptData,
+    /// The completion strobe never rises; at TLM-AT the DES56 model also
+    /// loses the completion transaction entirely.
+    DropReady,
+    /// The completion strobe is stuck at 1 from the first cycle.
+    StuckControl,
+    /// The second request is silently swallowed and never elaborated.
+    DropTransaction,
+    /// Every accepted request is elaborated twice, keeping the IP busy for
+    /// two latency windows and swallowing requests meanwhile.
+    DuplicateTransaction,
+    /// One payload bit flipped at a seeded position.
+    BitFlip {
+        /// Which bit to flip (interpreted mod the IP's payload width).
+        bit: u8,
+    },
+}
+
+impl Fault {
+    /// Display label (the bit-flip position is carried separately).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::LatencyShort => "latency-short",
+            Fault::LatencyLong => "latency-long",
+            Fault::CorruptData => "corrupt-data",
+            Fault::DropReady => "drop-ready",
+            Fault::StuckControl => "stuck-control",
+            Fault::DropTransaction => "drop-transaction",
+            Fault::DuplicateTransaction => "duplicate-transaction",
+            Fault::BitFlip { .. } => "bit-flip",
+        }
+    }
+
+    /// The faults `design` supports (its mutation catalogue), baseline
+    /// first. The [`Fault::BitFlip`] entry carries bit 0; campaign layers
+    /// reseed the position.
+    #[must_use]
+    pub fn catalogue(design: DesignKind) -> Vec<Fault> {
+        match design {
+            DesignKind::Des56 => vec![
+                Fault::None,
+                Fault::LatencyShort,
+                Fault::LatencyLong,
+                Fault::CorruptData,
+                Fault::DropReady,
+                Fault::StuckControl,
+                Fault::DropTransaction,
+                Fault::DuplicateTransaction,
+            ],
+            DesignKind::ColorConv => vec![
+                Fault::None,
+                Fault::LatencyShort,
+                Fault::LatencyLong,
+                Fault::CorruptData,
+                Fault::DropReady,
+                Fault::StuckControl,
+                Fault::DropTransaction,
+                Fault::BitFlip { bit: 0 },
+            ],
+            DesignKind::Fir => vec![
+                Fault::None,
+                Fault::LatencyShort,
+                Fault::CorruptData,
+                Fault::DropReady,
+                Fault::DropTransaction,
+                Fault::BitFlip { bit: 0 },
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::BitFlip { bit } => write!(f, "bit-flip[{bit}]"),
+            other => f.write_str(other.label()),
+        }
+    }
 }
 
 /// One fully-built, fresh simulation instance.
@@ -157,6 +246,14 @@ pub enum BuildError {
         /// The level it does not support.
         level: AbsLevel,
     },
+    /// The design's mutation catalogue has no equivalent of the requested
+    /// fault (see [`Fault::catalogue`]).
+    UnsupportedFault {
+        /// The design asked for.
+        design: DesignKind,
+        /// The fault it does not support.
+        fault: Fault,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -164,6 +261,9 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::UnsupportedLevel { design, level } => {
                 write!(f, "{} has no {} model", design.label(), level.label())
+            }
+            BuildError::UnsupportedFault { design, fault } => {
+                write!(f, "{} has no {fault} mutation", design.label())
             }
         }
     }
@@ -181,7 +281,8 @@ impl std::error::Error for BuildError {}
 /// # Errors
 ///
 /// [`BuildError::UnsupportedLevel`] for [`AbsLevel::TlmAtBulk`] on designs
-/// other than ColorConv.
+/// other than ColorConv; [`BuildError::UnsupportedFault`] for `(design,
+/// fault)` pairs outside [`Fault::catalogue`].
 pub fn build(
     design: DesignKind,
     level: AbsLevel,
@@ -193,10 +294,7 @@ pub fn build(
     match design {
         DesignKind::Des56 => {
             let w = des56::DesWorkload::mixed(size, seed);
-            let m = match fault {
-                Fault::None => des56::DesMutation::None,
-                Fault::LatencyShort => des56::DesMutation::LatencyShort,
-            };
+            let m = des_mutation(fault).ok_or(BuildError::UnsupportedFault { design, fault })?;
             match level {
                 AbsLevel::Rtl => Ok(from_des_rtl(des56::build_rtl(&w, m))),
                 AbsLevel::TlmCa => Ok(from_des_tlm(des56::build_tlm_ca(&w, m))),
@@ -206,10 +304,7 @@ pub fn build(
         }
         DesignKind::ColorConv => {
             let w = colorconv::ConvWorkload::mixed(size, seed);
-            let m = match fault {
-                Fault::None => colorconv::ConvMutation::None,
-                Fault::LatencyShort => colorconv::ConvMutation::LatencyShort,
-            };
+            let m = conv_mutation(fault).ok_or(BuildError::UnsupportedFault { design, fault })?;
             match level {
                 AbsLevel::Rtl => Ok(from_conv_rtl(colorconv::build_rtl(&w, m))),
                 AbsLevel::TlmCa => Ok(from_conv_tlm(colorconv::build_tlm_ca(&w, m))),
@@ -219,10 +314,7 @@ pub fn build(
         }
         DesignKind::Fir => {
             let w = fir::FirWorkload::random(size, seed);
-            let m = match fault {
-                Fault::None => fir::FirMutation::None,
-                Fault::LatencyShort => fir::FirMutation::LatencyShort,
-            };
+            let m = fir_mutation(fault).ok_or(BuildError::UnsupportedFault { design, fault })?;
             match level {
                 AbsLevel::Rtl => Ok(from_fir_rtl(fir::build_rtl(&w, m))),
                 AbsLevel::TlmCa => Ok(from_fir_tlm(fir::build_tlm_ca(&w, m))),
@@ -230,6 +322,52 @@ pub fn build(
                 AbsLevel::TlmAtBulk => Err(BuildError::UnsupportedLevel { design, level }),
             }
         }
+    }
+}
+
+/// Maps the design-independent fault onto the DES56 mutation catalogue.
+fn des_mutation(fault: Fault) -> Option<des56::DesMutation> {
+    use des56::DesMutation as M;
+    match fault {
+        Fault::None => Some(M::None),
+        Fault::LatencyShort => Some(M::LatencyShort),
+        Fault::LatencyLong => Some(M::LatencyLong),
+        Fault::CorruptData => Some(M::CorruptData),
+        Fault::DropReady => Some(M::DropReady),
+        Fault::StuckControl => Some(M::StuckControl),
+        Fault::DropTransaction => Some(M::DropTransaction),
+        Fault::DuplicateTransaction => Some(M::DuplicateTransaction),
+        Fault::BitFlip { .. } => None,
+    }
+}
+
+/// Maps the design-independent fault onto the ColorConv mutation catalogue.
+fn conv_mutation(fault: Fault) -> Option<colorconv::ConvMutation> {
+    use colorconv::ConvMutation as M;
+    match fault {
+        Fault::None => Some(M::None),
+        Fault::LatencyShort => Some(M::LatencyShort),
+        Fault::LatencyLong => Some(M::LatencyLong),
+        Fault::CorruptData => Some(M::CorruptLuma),
+        Fault::DropReady => Some(M::DropValid),
+        Fault::StuckControl => Some(M::StuckValid),
+        Fault::DropTransaction => Some(M::DropPixel),
+        Fault::BitFlip { bit } => Some(M::FlipLuma { bit }),
+        Fault::DuplicateTransaction => None,
+    }
+}
+
+/// Maps the design-independent fault onto the FIR mutation catalogue.
+fn fir_mutation(fault: Fault) -> Option<fir::FirMutation> {
+    use fir::FirMutation as M;
+    match fault {
+        Fault::None => Some(M::None),
+        Fault::LatencyShort => Some(M::LatencyShort),
+        Fault::CorruptData => Some(M::CorruptResult),
+        Fault::DropReady => Some(M::DropValid),
+        Fault::DropTransaction => Some(M::DropSample),
+        Fault::BitFlip { bit } => Some(M::FlipResult { bit }),
+        Fault::LatencyLong | Fault::StuckControl | Fault::DuplicateTransaction => None,
     }
 }
 
@@ -263,6 +401,42 @@ pub fn properties_at(design: DesignKind, level: AbsLevel) -> Vec<(String, Clocke
             let cfg = design.config();
             suite
                 .iter()
+                .filter_map(|e| {
+                    abstract_property(&e.rtl, &cfg)
+                        .expect("suite abstracts")
+                        .into_property()
+                        .map(|q| (e.name.to_owned(), q))
+                })
+                .collect()
+        }
+        AbsLevel::TlmAtBulk => colorconv::bulk_surviving_properties(),
+    }
+}
+
+/// The subset of [`properties_at`] expected to **pass** on the unmutated
+/// design at `level`: the full suite at RTL/TLM-CA, the AT-compatible
+/// subset (abstracted) at TLM-AT, the surviving range checks at bulk-AT.
+///
+/// This is the baseline a mutation campaign measures against — a mutant is
+/// killed exactly when one of these fails.
+///
+/// # Panics
+///
+/// Panics if a suite property fails to abstract (the shipped suites always
+/// abstract).
+#[must_use]
+pub fn passing_properties_at(
+    design: DesignKind,
+    level: AbsLevel,
+) -> Vec<(String, ClockedProperty)> {
+    match level {
+        AbsLevel::Rtl | AbsLevel::TlmCa => properties_at(design, level),
+        AbsLevel::TlmAt => {
+            let cfg = design.config();
+            design
+                .suite()
+                .iter()
+                .filter(|e| e.class == crate::PropertyClass::AtCompatible)
                 .filter_map(|e| {
                     abstract_property(&e.rtl, &cfg)
                         .expect("suite abstracts")
@@ -443,6 +617,99 @@ mod tests {
             built.run();
             let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
             assert!(report.total_failures() > 0, "{}: {report}", design.label());
+        }
+    }
+
+    #[test]
+    fn unsupported_faults_are_structured_errors() {
+        // DES56 has no payload bit-flip; ColorConv no duplicate; FIR
+        // neither latency-long nor stuck-control nor duplicate.
+        let cases = [
+            (DesignKind::Des56, Fault::BitFlip { bit: 3 }),
+            (DesignKind::ColorConv, Fault::DuplicateTransaction),
+            (DesignKind::Fir, Fault::LatencyLong),
+            (DesignKind::Fir, Fault::StuckControl),
+            (DesignKind::Fir, Fault::DuplicateTransaction),
+        ];
+        for (design, fault) in cases {
+            for level in AbsLevel::ALL {
+                let err = match build(design, level, 2, 0, fault) {
+                    Err(err) => err,
+                    Ok(_) => panic!("{} {fault} must not fall back", design.label()),
+                };
+                assert_eq!(err, BuildError::UnsupportedFault { design, fault });
+            }
+        }
+        let msg = BuildError::UnsupportedFault {
+            design: DesignKind::Des56,
+            fault: Fault::BitFlip { bit: 3 },
+        }
+        .to_string();
+        assert_eq!(msg, "DES56 has no bit-flip[3] mutation");
+    }
+
+    #[test]
+    fn catalogue_builds_everywhere_and_starts_with_the_baseline() {
+        for design in DesignKind::ALL {
+            let catalogue = Fault::catalogue(design);
+            assert_eq!(catalogue[0], Fault::None);
+            for fault in catalogue {
+                for level in AbsLevel::ALL {
+                    assert!(
+                        build(design, level, 2, 1, fault).is_ok(),
+                        "{} {} {fault}",
+                        design.label(),
+                        level.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn passing_properties_pass_on_the_unmutated_design() {
+        for design in DesignKind::ALL {
+            for level in AbsLevel::ALL {
+                let mut built = build(design, level, 3, 7, Fault::None).expect("builds");
+                let props = passing_properties_at(design, level);
+                assert!(!props.is_empty());
+                let binding = built.binding();
+                let checkers =
+                    Checker::attach_all(&mut built.sim, &props, binding).expect("attaches");
+                built.run();
+                let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
+                assert!(
+                    report.all_pass(),
+                    "{} {}: {report}",
+                    design.label(),
+                    level.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_catalogued_mutant_is_killed_at_every_level() {
+        for design in DesignKind::ALL {
+            for fault in Fault::catalogue(design) {
+                for level in AbsLevel::ALL {
+                    let mut built = build(design, level, 8, 2015, fault).expect("builds");
+                    let props = passing_properties_at(design, level);
+                    let binding = built.binding();
+                    let checkers =
+                        Checker::attach_all(&mut built.sim, &props, binding).expect("attaches");
+                    built.run();
+                    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
+                    let expect_killed = fault != Fault::None;
+                    assert_eq!(
+                        report.total_failures() > 0,
+                        expect_killed,
+                        "{} {} {fault}: {report}",
+                        design.label(),
+                        level.label()
+                    );
+                }
+            }
         }
     }
 

@@ -28,6 +28,17 @@ pub enum FirMutation {
     LatencyShort,
     /// Wrong arithmetic: the first tap is dropped.
     DropTap,
+    /// Result forced above the 16-bit output bound.
+    CorruptResult,
+    /// `out_valid` never asserted.
+    DropValid,
+    /// The second accepted sample never enters the filter.
+    DropSample,
+    /// A high result bit (16 + `bit % 8`) flipped on.
+    FlipResult {
+        /// Which high bit (mod 8, offset 16) to flip.
+        bit: u8,
+    },
 }
 
 /// The reference (functional) filter over a sample history, newest first.
@@ -55,6 +66,8 @@ pub struct FirCore {
     mutation: FirMutation,
     delay_line: [u64; 4],
     pipe: [Option<Work>; 5],
+    /// Samples accepted so far (drives [`FirMutation::DropSample`]).
+    seen: u32,
     outputs: FirOutputs,
 }
 
@@ -69,6 +82,7 @@ impl FirCore {
             mutation,
             delay_line: [0; 4],
             pipe: [None; 5],
+            seen: 0,
             outputs: FirOutputs::default(),
         }
     }
@@ -96,13 +110,17 @@ impl FirCore {
             });
         }
         if in_valid {
-            self.delay_line.rotate_right(1);
-            self.delay_line[0] = sample;
-            self.pipe[0] = Some(Work {
-                history: self.delay_line,
-                acc: 0,
-                stage: 1,
-            });
+            let drop = matches!(self.mutation, FirMutation::DropSample) && self.seen == 1;
+            self.seen += 1;
+            if !drop {
+                self.delay_line.rotate_right(1);
+                self.delay_line[0] = sample;
+                self.pipe[0] = Some(Work {
+                    history: self.delay_line,
+                    acc: 0,
+                    stage: 1,
+                });
+            }
         }
 
         self.outputs.out_valid = false;
@@ -112,8 +130,14 @@ impl FirCore {
                 w.acc += u64::from(TAPS[w.stage - 1]) * w.history[w.stage - 1];
                 w.stage += 1;
             }
-            self.outputs.result = w.acc >> 8;
-            self.outputs.out_valid = true;
+            let mut result = w.acc >> 8;
+            match self.mutation {
+                FirMutation::CorruptResult => result |= 1 << 16,
+                FirMutation::FlipResult { bit } => result ^= 1 << (16 + bit % 8),
+                _ => {}
+            }
+            self.outputs.result = result;
+            self.outputs.out_valid = !matches!(self.mutation, FirMutation::DropValid);
         }
         self.outputs.res_next_cycle = self.pipe[depth - 1].is_some();
         self.outputs
@@ -182,6 +206,45 @@ mod tests {
         let outs = run_single(&mut core, 256, 8);
         assert!(outs[5].out_valid);
         assert_ne!(outs[5].result, reference(&[256, 0, 0, 0]));
+    }
+
+    #[test]
+    fn corrupt_result_exceeds_output_bound() {
+        let mut core = FirCore::new(FirMutation::CorruptResult);
+        let outs = run_single(&mut core, 256, 8);
+        assert!(outs[5].out_valid);
+        assert!(outs[5].result > 65535);
+    }
+
+    #[test]
+    fn drop_valid_never_strobes() {
+        let mut core = FirCore::new(FirMutation::DropValid);
+        let outs = run_single(&mut core, 256, 8);
+        assert!(outs.iter().all(|o| !o.out_valid));
+    }
+
+    #[test]
+    fn drop_sample_swallows_the_second_sample() {
+        let mut core = FirCore::new(FirMutation::DropSample);
+        let mut strobes = Vec::new();
+        for c in 0..20 {
+            let o = core.step(c < 3, 512);
+            if o.out_valid {
+                strobes.push(c);
+            }
+        }
+        assert_eq!(strobes, vec![5, 7], "sample 1 never filters");
+    }
+
+    #[test]
+    fn flip_result_sets_a_high_bit() {
+        for bit in 0..8 {
+            let mut core = FirCore::new(FirMutation::FlipResult { bit });
+            let outs = run_single(&mut core, 512, 8);
+            assert!(outs[5].out_valid);
+            assert!(outs[5].result > 65535, "bit {bit} stays in range");
+            assert_eq!(outs[5].result & 0xFFFF, reference(&[512, 0, 0, 0]));
+        }
     }
 
     #[test]

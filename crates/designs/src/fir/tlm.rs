@@ -132,23 +132,37 @@ impl Component for FirTlmAt {
                 ctx.write(self.sample, s);
                 ctx.write(self.out_valid, 0);
                 self.bus.publish(ctx, Transaction::write(0, s, ev.time));
-                let delay = match self.mutation {
-                    FirMutation::LatencyShort => 4,
-                    _ => 5,
-                } * CLOCK_PERIOD_NS;
-                ctx.schedule_self(delay, (ev.kind & !1) | OP_READ);
+                // A swallowed sample neither completes nor enters the
+                // functional delay line (the read op does both).
+                let swallowed = matches!(self.mutation, FirMutation::DropSample) && index == 1;
+                if !swallowed {
+                    let delay = match self.mutation {
+                        FirMutation::LatencyShort => 4,
+                        _ => 5,
+                    } * CLOCK_PERIOD_NS;
+                    ctx.schedule_self(delay, (ev.kind & !1) | OP_READ);
+                }
             }
             _ => {
                 let s = self.workload.samples[index];
                 self.history.rotate_right(1);
                 self.history[0] = s;
                 let mut r = reference(&self.history);
-                if matches!(self.mutation, FirMutation::DropTap) {
-                    r = r.saturating_sub((u64::from(super::core::TAPS[0]) * self.history[0]) >> 8);
+                match self.mutation {
+                    FirMutation::DropTap => {
+                        r = r.saturating_sub(
+                            (u64::from(super::core::TAPS[0]) * self.history[0]) >> 8,
+                        );
+                    }
+                    FirMutation::CorruptResult => r |= 1 << 16,
+                    FirMutation::FlipResult { bit } => r ^= 1 << (16 + bit % 8),
+                    _ => {}
                 }
                 ctx.write(self.in_valid, 0);
                 ctx.write(self.result, r);
-                ctx.write(self.out_valid, 1);
+                if !matches!(self.mutation, FirMutation::DropValid) {
+                    ctx.write(self.out_valid, 1);
+                }
                 self.bus.publish(ctx, Transaction::read(0, r, ev.time));
             }
         }
@@ -235,5 +249,46 @@ mod tests {
             trace.steps()[3].signal("result"),
             Some(reference(&[64, 512, 0, 0]))
         );
+    }
+
+    #[test]
+    fn at_drop_sample_skips_completion_and_history() {
+        let w = FirWorkload::new(vec![512, 64, 128]);
+        let mut built = build_tlm_at(
+            &w,
+            FirMutation::DropSample,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
+        built.run();
+        // Three writes, two completions.
+        assert_eq!(built.bus.published(), 5);
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        let reads: Vec<u64> = trace
+            .steps()
+            .iter()
+            .filter(|s| s.signal("in_valid") == Some(0))
+            .filter_map(|s| s.signal("result"))
+            .collect();
+        // Sample 1 is missing from the delay line, matching the RTL core.
+        assert_eq!(
+            reads,
+            vec![reference(&[512, 0, 0, 0]), reference(&[128, 512, 0, 0])]
+        );
+    }
+
+    #[test]
+    fn at_drop_valid_completes_without_the_strobe() {
+        let w = FirWorkload::new(vec![512]);
+        let mut built = build_tlm_at(
+            &w,
+            FirMutation::DropValid,
+            CodingStyle::ApproximatelyTimedLoose,
+        );
+        let rec = TxTraceRecorder::install(&mut built.sim, &built.bus, TLM_AT_SIGNALS);
+        built.run();
+        let trace = TxTraceRecorder::take_trace(&built.sim, rec);
+        assert_eq!(trace.steps()[1].time_ns, 70);
+        assert_eq!(trace.steps()[1].signal("out_valid"), Some(0));
     }
 }

@@ -35,7 +35,10 @@ mod factory;
 pub mod fir;
 mod suite;
 
-pub use factory::{build, properties_at, AbsLevel, BuildError, BuiltDesign, DesignKind, Fault};
+pub use factory::{
+    build, passing_properties_at, properties_at, AbsLevel, BuildError, BuiltDesign, DesignKind,
+    Fault,
+};
 pub use suite::{PropertyClass, SuiteEntry};
 
 /// The RTL clock period shared by both IPs, in nanoseconds.

@@ -1,0 +1,174 @@
+//! Schema-stable JSON rendering of a [`KillMatrix`].
+//!
+//! Hand-rolled (the workspace is dependency-free) and deliberately built
+//! only from scheduling-independent fields — no wall-clock, no worker
+//! count — so the same plan renders **byte-identical** JSON at any worker
+//! count. Consumers can rely on the `schema` tag for compatibility.
+
+use std::fmt::Write as _;
+
+use designs::Fault;
+
+use crate::matrix::KillMatrix;
+
+/// The schema tag emitted in every document.
+pub const SCHEMA: &str = "rtl2tlm-kill-matrix-v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl KillMatrix {
+    /// Renders the matrix as a stable JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let o = &mut out;
+        let _ = write!(o, "{{\"schema\":\"{SCHEMA}\"");
+        let _ = write!(o, ",\"size\":{},\"seed\":{}", self.size, self.seed);
+        let _ = write!(o, ",\"levels\":[");
+        for (i, level) in self.levels.iter().enumerate() {
+            let comma = if i > 0 { "," } else { "" };
+            let _ = write!(o, "{comma}\"{}\"", level.label());
+        }
+        let _ = write!(o, "],\"designs\":[");
+        for (di, dm) in self.designs.iter().enumerate() {
+            let comma = if di > 0 { "," } else { "" };
+            let _ = write!(o, "{comma}{{\"design\":\"{}\"", dm.design.label());
+            let _ = write!(o, ",\"mutation_score\":{{");
+            for (li, &level) in self.levels.iter().enumerate() {
+                let comma = if li > 0 { "," } else { "" };
+                let (killed, total) = dm.mutation_score(level);
+                let _ = write!(
+                    o,
+                    "{comma}\"{}\":{{\"killed\":{killed},\"total\":{total}}}",
+                    level.label()
+                );
+            }
+            let _ = write!(o, "}},\"mutants\":[");
+            for (mi, row) in dm.mutants.iter().enumerate() {
+                let comma = if mi > 0 { "," } else { "" };
+                let _ = write!(
+                    o,
+                    "{comma}{{\"fault\":\"{}\",\"baseline\":{},\"cells\":[",
+                    escape(&row.fault.to_string()),
+                    row.fault == Fault::None
+                );
+                for (ci, cell) in row.cells.iter().enumerate() {
+                    let comma = if ci > 0 { "," } else { "" };
+                    let _ = write!(
+                        o,
+                        "{comma}{{\"level\":\"{}\",\"killed\":{},\"failures\":{},\"timeout_fails\":{}",
+                        cell.level.label(),
+                        cell.killed,
+                        cell.failures,
+                        cell.timeout_fails
+                    );
+                    let _ = write!(o, ",\"failing_properties\":[");
+                    for (fi, name) in cell.failing_properties().iter().enumerate() {
+                        let comma = if fi > 0 { "," } else { "" };
+                        let _ = write!(o, "{comma}\"{}\"", escape(name));
+                    }
+                    let _ = write!(o, "],\"verdicts\":{{");
+                    for (vi, v) in cell.verdicts.iter().enumerate() {
+                        let comma = if vi > 0 { "," } else { "" };
+                        let _ = write!(
+                            o,
+                            "{comma}\"{}\":\"{}\"",
+                            escape(&v.property),
+                            if v.pass { "pass" } else { "fail" }
+                        );
+                    }
+                    let _ = write!(o, "}}}}");
+                }
+                let _ = write!(o, "]}}");
+            }
+            let _ = write!(o, "]}}");
+        }
+        let _ = write!(o, "],\"baseline_clean\":{}", self.baseline_clean());
+        for (key, diffs) in [
+            ("regressions", self.detection_regressions()),
+            ("gains", self.detection_gains()),
+        ] {
+            let _ = write!(o, ",\"{key}\":[");
+            for (i, d) in diffs.iter().enumerate() {
+                let comma = if i > 0 { "," } else { "" };
+                let _ = write!(
+                    o,
+                    "{comma}{{\"design\":\"{}\",\"fault\":\"{}\",\"killed_at\":\"{}\",\"survives_at\":\"{}\"}}",
+                    d.design.label(),
+                    escape(&d.fault.to_string()),
+                    d.killed_at.label(),
+                    d.survives_at.label()
+                );
+            }
+            let _ = write!(o, "]");
+        }
+        let _ = write!(o, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_mutation;
+    use crate::plan::MutationPlan;
+    use abv_campaign::TraceSettings;
+    use designs::{AbsLevel, DesignKind};
+
+    fn tiny_matrix() -> KillMatrix {
+        let plan = MutationPlan::new()
+            .design(DesignKind::Fir)
+            .level(AbsLevel::Rtl)
+            .size(3)
+            .seed(11);
+        run_mutation(&plan, 1, TraceSettings::off())
+            .expect("valid plan")
+            .matrix
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_balanced() {
+        let json = tiny_matrix().to_json();
+        assert!(json.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(json.contains("\"baseline_clean\":true"));
+        assert!(json.contains("\"regressions\":[]"));
+        assert!(json.contains("\"fault\":\"latency-short\""));
+        assert!(json.contains("\"verdicts\":{"));
+    }
+
+    #[test]
+    fn json_is_independent_of_worker_count() {
+        let plan = MutationPlan::new()
+            .design(DesignKind::ColorConv)
+            .size(3)
+            .seed(5);
+        let solo = run_mutation(&plan, 1, TraceSettings::off()).expect("valid plan");
+        let pooled = run_mutation(&plan, 8, TraceSettings::off()).expect("valid plan");
+        assert_eq!(solo.matrix.to_json(), pooled.matrix.to_json());
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

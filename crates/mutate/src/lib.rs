@@ -1,0 +1,44 @@
+//! `abv-mutate` — the mutation-testing subsystem.
+//!
+//! The paper validates its TLM checkers by injecting faults into the IPs
+//! and confirming the reused assertions still fire (Section V, "faulty
+//! designs"). This crate systematises that experiment:
+//!
+//! - **catalogue**: every IP exposes a design-independent fault catalogue
+//!   ([`designs::Fault::catalogue`]) — latency shifts, payload
+//!   corruption, dropped/duplicated transactions, stuck control signals,
+//!   seeded bit flips.
+//! - **plan** ([`MutationPlan`]): the slice of the mutation space to run
+//!   — designs × levels × catalogue — expanded into a deterministic
+//!   [`abv_campaign`] grid (expected-passing suites only, so every
+//!   failure is a genuine detection).
+//! - **kill matrix** ([`KillMatrix`], via [`run_mutation`]): per-property
+//!   × per-mutant verdicts at every level, per-level mutation scores and
+//!   the cross-level differential — mutants killed at RTL but escaping at
+//!   TLM (detection power lost to abstraction) or vice versa. Under
+//!   Theorem III.1 the AT-compatible suite should lose nothing; the
+//!   differential is the empirical check.
+//!
+//! ```
+//! use abv_campaign::TraceSettings;
+//! use abv_mutate::{run_mutation, MutationPlan};
+//! use designs::{AbsLevel, DesignKind};
+//!
+//! let plan = MutationPlan::new().design(DesignKind::Fir).size(4).seed(7);
+//! let outcome = run_mutation(&plan, 2, TraceSettings::off()).unwrap();
+//! assert!(outcome.matrix.baseline_clean());
+//! let fir = outcome.matrix.design(DesignKind::Fir).unwrap();
+//! assert_eq!(fir.mutation_score(AbsLevel::Rtl), (5, 5));
+//! assert!(outcome.matrix.detection_regressions().is_empty());
+//! ```
+
+mod json;
+mod matrix;
+mod plan;
+
+pub use json::SCHEMA;
+pub use matrix::{
+    run_mutation, DesignMatrix, Differential, KillMatrix, MutantCell, MutantRow, MutationOutcome,
+    PropertyVerdict,
+};
+pub use plan::MutationPlan;

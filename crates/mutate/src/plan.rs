@@ -1,0 +1,186 @@
+//! Declarative mutation plans.
+//!
+//! A [`MutationPlan`] names the slice of the mutation space to explore —
+//! which designs, which abstraction levels, the workload size and the base
+//! seed — and expands it into a full `(design × fault × level)` campaign
+//! grid. Expansion is design-major, then fault, then level, so the kill
+//! matrix folds back out of the campaign report by walking the same order.
+
+use abv_campaign::{CampaignPlan, CellSpec, CheckerMode};
+use designs::{AbsLevel, DesignKind, Fault};
+use tinyrng::TinyRng;
+
+/// Stream tag for deriving per-design bit-flip positions from the plan
+/// seed (arbitrary constant; fixed so plans are reproducible).
+const BIT_FLIP_STREAM: u64 = 0xB17_F11B;
+
+/// Which slice of the mutation space a campaign explores.
+///
+/// ```
+/// use abv_mutate::MutationPlan;
+/// use designs::DesignKind;
+///
+/// let plan = MutationPlan::new().design(DesignKind::Fir).size(4);
+/// assert_eq!(plan.mutants(DesignKind::Fir).len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MutationPlan {
+    /// Designs to mutate (default: all three IPs).
+    pub designs: Vec<DesignKind>,
+    /// Abstraction levels to run every mutant at (default: RTL, TLM-CA,
+    /// TLM-AT).
+    pub levels: Vec<AbsLevel>,
+    /// Workload size per run (requests / pixels / samples).
+    pub size: usize,
+    /// Base seed: drives the workloads (via the campaign's per-run seed
+    /// fork) and the seeded bit-flip positions.
+    pub seed: u64,
+}
+
+impl Default for MutationPlan {
+    fn default() -> MutationPlan {
+        MutationPlan::new()
+    }
+}
+
+impl MutationPlan {
+    /// The full-catalogue plan: every IP, every shared level, workload
+    /// size 8, seed 2015.
+    #[must_use]
+    pub fn new() -> MutationPlan {
+        MutationPlan {
+            designs: DesignKind::ALL.to_vec(),
+            levels: AbsLevel::ALL.to_vec(),
+            size: 8,
+            seed: 2015,
+        }
+    }
+
+    /// Restricts the plan to one design.
+    #[must_use]
+    pub fn design(mut self, design: DesignKind) -> MutationPlan {
+        self.designs = vec![design];
+        self
+    }
+
+    /// Restricts the plan to one abstraction level.
+    #[must_use]
+    pub fn level(mut self, level: AbsLevel) -> MutationPlan {
+        self.levels = vec![level];
+        self
+    }
+
+    /// Sets the workload size per run.
+    #[must_use]
+    pub fn size(mut self, size: usize) -> MutationPlan {
+        self.size = size;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> MutationPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// The mutants of `design` under this plan: the design's fault
+    /// catalogue (baseline first) with bit-flip positions seeded from the
+    /// plan seed, so two plans with the same seed flip the same bit.
+    #[must_use]
+    pub fn mutants(&self, design: DesignKind) -> Vec<Fault> {
+        let stream = BIT_FLIP_STREAM ^ design as u64;
+        let bit = (TinyRng::fork(self.seed, stream).next_u64() % 8) as u8;
+        Fault::catalogue(design)
+            .into_iter()
+            .map(|fault| match fault {
+                Fault::BitFlip { .. } => Fault::BitFlip { bit },
+                other => other,
+            })
+            .collect()
+    }
+
+    /// Expands the plan into its campaign grid: one cell per
+    /// `(design, fault, level)` triple, design-major then fault then
+    /// level, each installing the expected-passing suite so every failure
+    /// is a genuine detection.
+    #[must_use]
+    pub fn campaign_plan(&self) -> CampaignPlan {
+        let mut plan = CampaignPlan::new("mutation")
+            .runs(1)
+            .size(self.size)
+            .seed(self.seed);
+        for &design in &self.designs {
+            for fault in self.mutants(design) {
+                for &level in &self.levels {
+                    plan = plan.cell_spec(
+                        CellSpec::new(design, level, CheckerMode::ExpectedPassing)
+                            .with_fault(fault),
+                    );
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_covers_the_full_catalogue() {
+        let plan = MutationPlan::new();
+        let campaign = plan.campaign_plan();
+        let mutants: usize = DesignKind::ALL
+            .iter()
+            .map(|&d| Fault::catalogue(d).len())
+            .sum();
+        assert_eq!(campaign.cells.len(), mutants * AbsLevel::ALL.len());
+        assert_eq!(campaign.runs_per_cell, 1);
+        campaign.validate().expect("every catalogued cell builds");
+    }
+
+    #[test]
+    fn expansion_is_design_major_then_fault_then_level() {
+        let plan = MutationPlan::new();
+        let cells = plan.campaign_plan().cells;
+        assert_eq!(cells[0].design, DesignKind::Des56);
+        assert_eq!(cells[0].fault, Fault::None);
+        assert_eq!(cells[0].level, AbsLevel::Rtl);
+        assert_eq!(cells[1].level, AbsLevel::TlmCa);
+        assert_eq!(cells[2].level, AbsLevel::TlmAt);
+        assert_eq!(cells[3].fault, Fault::LatencyShort);
+        assert_eq!(cells[3].level, AbsLevel::Rtl);
+    }
+
+    #[test]
+    fn bit_flip_positions_are_seeded_and_stable() {
+        let a = MutationPlan::new().seed(42);
+        let b = MutationPlan::new().seed(42);
+        assert_eq!(a.mutants(DesignKind::Fir), b.mutants(DesignKind::Fir));
+        let bit_of = |plan: &MutationPlan, design| {
+            plan.mutants(design)
+                .into_iter()
+                .find_map(|f| match f {
+                    Fault::BitFlip { bit } => Some(bit),
+                    _ => None,
+                })
+                .expect("catalogue has a bit flip")
+        };
+        assert!(bit_of(&a, DesignKind::ColorConv) < 8);
+        assert!(bit_of(&a, DesignKind::Fir) < 8);
+    }
+
+    #[test]
+    fn narrowed_plan_expands_only_its_slice() {
+        let plan = MutationPlan::new()
+            .design(DesignKind::ColorConv)
+            .level(AbsLevel::Rtl);
+        let cells = plan.campaign_plan().cells;
+        assert_eq!(cells.len(), Fault::catalogue(DesignKind::ColorConv).len());
+        assert!(cells
+            .iter()
+            .all(|c| c.design == DesignKind::ColorConv && c.level == AbsLevel::Rtl));
+    }
+}

@@ -1,0 +1,64 @@
+//! Randomized cross-level verdict differential.
+//!
+//! Draws 200 seeded `(design, fault, workload-seed)` triples and checks
+//! that the per-property pass/fail verdicts of the expected-passing suite
+//! agree between RTL and TLM-CA: the cycle-accurate TLM model shares the
+//! RTL cycle core, so reused checkers must detect exactly the same
+//! mutants through exactly the same properties. Fully deterministic — the
+//! case stream is forked from a fixed seed.
+
+use abv_checker::Checker;
+use designs::{build, passing_properties_at, AbsLevel, DesignKind, Fault};
+use tinyrng::TinyRng;
+
+/// Per-property `(name, passed)` verdicts of one run.
+fn verdicts(
+    design: DesignKind,
+    level: AbsLevel,
+    size: usize,
+    seed: u64,
+    fault: Fault,
+) -> Vec<(String, bool)> {
+    let props = passing_properties_at(design, level);
+    let mut built = build(design, level, size, seed, fault).expect("catalogued fault builds");
+    let binding = built.binding();
+    let checkers =
+        Checker::attach_all(&mut built.sim, &props, binding).expect("suite attaches at its level");
+    built.run();
+    let report = Checker::collect(&mut built.sim, &checkers, built.end_ns);
+    report
+        .properties
+        .iter()
+        .map(|p| (p.name.clone(), p.failure_count == 0))
+        .collect()
+}
+
+#[test]
+fn rtl_and_tlm_ca_verdicts_agree_on_200_seeded_mutants() {
+    let mut rng = TinyRng::fork(0xD1FF_2015, 0);
+    let mut kills = 0usize;
+    for case in 0..200 {
+        let design = DesignKind::ALL[(rng.next_u64() % 3) as usize];
+        let catalogue = Fault::catalogue(design);
+        let fault = match catalogue[(rng.next_u64() as usize) % catalogue.len()] {
+            Fault::BitFlip { .. } => Fault::BitFlip {
+                bit: (rng.next_u64() % 8) as u8,
+            },
+            fault => fault,
+        };
+        let size = 4 + (rng.next_u64() % 7) as usize;
+        let seed = rng.next_u64();
+        let rtl = verdicts(design, AbsLevel::Rtl, size, seed, fault);
+        let ca = verdicts(design, AbsLevel::TlmCa, size, seed, fault);
+        assert_eq!(
+            rtl,
+            ca,
+            "case {case}: {} {fault} size {size} seed {seed:#018x}",
+            design.label()
+        );
+        kills += usize::from(rtl.iter().any(|(_, pass)| !pass));
+    }
+    // The stream must actually exercise both sides of the verdict space.
+    assert!(kills > 50, "only {kills} mutated cases detected");
+    assert!(kills < 200, "no baseline case drawn");
+}

@@ -2,8 +2,10 @@
 # Scheduler + checker benchmark smokes with machine-readable output.
 #
 # Runs the kernel_throughput comparison (two-tier scheduler vs reference
-# heap) and writes BENCH_kernel.json to the repo root, then a
-# checker_overhead smoke. Knobs (defaults chosen for a minutes-scale run):
+# heap) and writes BENCH_kernel.json to the repo root, then the
+# mutation_throughput campaign scaling run (mutants/s at 1/2/8 workers,
+# BENCH_mutation.json), then a checker_overhead smoke. Knobs (defaults
+# chosen for a minutes-scale run):
 #
 #   ABV_BENCH_BUDGET_MS  per-cell time budget      (default 1000)
 #   ABV_BENCH_SIZE       RTL workload size         (default 400)
@@ -23,8 +25,12 @@ echo "==> cargo bench -p abv-bench --bench kernel_throughput -> BENCH_kernel.jso
 ABV_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p abv-bench --bench kernel_throughput
 
+echo "==> cargo bench -p abv-bench --bench mutation_throughput -> BENCH_mutation.json"
+ABV_BENCH_JSON="$(pwd)/BENCH_mutation.json" ABV_BENCH_SIZE=8 \
+    cargo bench -p abv-bench --bench mutation_throughput
+
 echo "==> cargo bench -p abv-bench --bench checker_overhead (smoke)"
 ABV_BENCH_BUDGET_MS=100 ABV_BENCH_SIZE=20 \
     cargo bench -p abv-bench --bench checker_overhead
 
-echo "Wrote BENCH_kernel.json."
+echo "Wrote BENCH_kernel.json and BENCH_mutation.json."

@@ -26,6 +26,12 @@ cargo test -q -p abv-checker --test differential
 echo "==> cargo test -q -p desim --test sched_differential"
 cargo test -q -p desim --test sched_differential
 
+echo "==> cargo test -q -p abv-mutate --test rtl_vs_tlm_verdicts"
+cargo test -q -p abv-mutate --test rtl_vs_tlm_verdicts
+
+echo "==> rtl2tlm mutate --json (smoke)"
+cargo run --release --bin rtl2tlm -- mutate --size 4 --workers 2 --json > /dev/null
+
 echo "==> cargo bench -p abv-bench --bench checker_overhead (smoke)"
 ABV_BENCH_BUDGET_MS=100 ABV_BENCH_SIZE=20 cargo bench -p abv-bench --bench checker_overhead
 

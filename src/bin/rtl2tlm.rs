@@ -10,6 +10,8 @@
 //!                  [--deterministic] [--trace PATH]
 //! rtl2tlm trace [--design D] [--level L] [--requests N] [--seed N]
 //!               --out PATH
+//! rtl2tlm mutate [--design D] [--level rtl|tlm-ca|tlm-at] [--size N]
+//!                [--seed N] [--workers N] [--json] [--trace PATH]
 //! ```
 //!
 //! Property files contain one `name: property` per line; `#` starts a
@@ -17,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use rtl2tlm_abv::cli::{self, CampaignParams, CliError, DemoParams, TraceParams};
+use rtl2tlm_abv::cli::{self, CampaignParams, CliError, DemoParams, MutateParams, TraceParams};
 
 const USAGE: &str = "\
 rtl2tlm — RTL-to-TLM property abstraction (DATE 2015 reproduction)
@@ -34,6 +36,9 @@ USAGE:
     rtl2tlm trace [--design des56|colorconv|fir]
                   [--level rtl|tlm-ca|tlm-at|tlm-at-bulk]
                   [--requests N] [--seed N] --out PATH
+    rtl2tlm mutate [--design des56|colorconv|fir]
+                   [--level rtl|tlm-ca|tlm-at] [--size N] [--seed N]
+                   [--workers N] [--json] [--trace PATH]
 
 COMMANDS:
     abstract   Abstract the RTL properties in <file> (one `name: property`
@@ -49,6 +54,12 @@ COMMANDS:
                write the checker-lifecycle spans, kernel counters and
                transaction instants as Chrome trace-event JSON (load the
                file in ui.perfetto.dev or chrome://tracing).
+    mutate     Run the fault catalogue through the campaign engine and
+               print the kill matrix: per-mutant verdicts at each level,
+               per-level mutation scores and the cross-level detection
+               differential. --json emits the schema-stable report
+               (byte-identical for any --workers value); --trace writes
+               per-mutant run spans plus the mutation kill-counter track.
 ";
 
 fn main() -> ExitCode {
@@ -71,6 +82,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
         Some("demo") => run_demo(&args[1..]),
         Some("campaign") => run_campaign(&args[1..]),
         Some("trace") => run_trace(&args[1..]),
+        Some("mutate") => run_mutate(&args[1..]),
         Some("--help" | "-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -166,6 +178,25 @@ fn run_trace(args: &[String]) -> Result<String, CliError> {
     }
     params.out = out.ok_or_else(|| CliError::Usage("trace requires --out PATH".into()))?;
     cli::run_trace(&params)
+}
+
+fn run_mutate(args: &[String]) -> Result<String, CliError> {
+    let mut params = MutateParams::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--design" => params.design = Some(next_value(&mut it, arg)?),
+            "--level" => params.level = Some(next_value(&mut it, arg)?),
+            "--size" => params.size = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--seed" => params.seed = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--workers" => params.workers = parse_num(&next_value(&mut it, arg)?, arg)?,
+            "--json" => params.json = true,
+            "--trace" => params.trace = Some(next_value(&mut it, arg)?),
+            "--help" | "-h" => return Ok(USAGE.to_owned()),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    cli::run_mutate(&params)
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {

@@ -13,7 +13,12 @@
 //!   `--trace`);
 //! - `trace`: run one traced simulation and export the checker-lifecycle
 //!   spans, kernel counters and transaction instants as Chrome
-//!   trace-event JSON for `ui.perfetto.dev` / `chrome://tracing`.
+//!   trace-event JSON for `ui.perfetto.dev` / `chrome://tracing`;
+//! - `mutate`: run the fault catalogue of one or all IPs through the
+//!   campaign engine at every shared abstraction level and print the kill
+//!   matrix — per-mutant verdicts, per-level mutation scores and the
+//!   cross-level detection differential (`--json` for the schema-stable
+//!   machine-readable report).
 //!
 //! The parsing/reporting logic lives here (unit-tested); the binary in
 //! `src/bin/rtl2tlm.rs` is a thin wrapper.
@@ -439,6 +444,92 @@ pub fn run_campaign(params: &CampaignParams) -> Result<String, CliError> {
     }
 }
 
+/// Parameters of the `mutate` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutateParams {
+    /// Restrict to one design (`des56`, `colorconv`, `fir`); `None` runs
+    /// all three.
+    pub design: Option<String>,
+    /// Restrict to one level (`rtl`, `tlm-ca`, `tlm-at`); `None` runs all
+    /// shared levels.
+    pub level: Option<String>,
+    /// Workload size per run.
+    pub size: usize,
+    /// Base seed (workloads and seeded bit-flip positions).
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Emit the schema-stable JSON report instead of the table.
+    pub json: bool,
+    /// Optional Chrome trace-event JSON output path (per-mutant run spans
+    /// plus the `mutation:` kill-counter track; deterministic, so the
+    /// file is byte-identical across `--workers` values).
+    pub trace: Option<String>,
+}
+
+impl Default for MutateParams {
+    fn default() -> MutateParams {
+        MutateParams {
+            design: None,
+            level: None,
+            size: 8,
+            seed: 2015,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            json: false,
+            trace: None,
+        }
+    }
+}
+
+/// Runs the `mutate` command: expands the mutation plan, executes the
+/// kill-matrix campaign and renders the matrix (table or JSON).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown designs/levels, plans the
+/// engine rejects and trace files that cannot be written.
+pub fn run_mutate(params: &MutateParams) -> Result<String, CliError> {
+    let mut plan = abv_mutate::MutationPlan::new()
+        .size(params.size)
+        .seed(params.seed);
+    if let Some(design) = &params.design {
+        let design = designs::DesignKind::parse(design).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown design `{design}` (expected des56, colorconv or fir)"
+            ))
+        })?;
+        plan = plan.design(design);
+    }
+    if let Some(level) = &params.level {
+        let level = designs::AbsLevel::parse(level)
+            .filter(|l| designs::AbsLevel::ALL.contains(l))
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown level `{level}` (expected rtl, tlm-ca or tlm-at)"
+                ))
+            })?;
+        plan = plan.level(level);
+    }
+    let settings = if params.trace.is_some() {
+        TraceSettings::deterministic()
+    } else {
+        TraceSettings::off()
+    };
+    let outcome = abv_mutate::run_mutation(&plan, params.workers, settings)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    if let Some(path) = &params.trace {
+        std::fs::write(path, chrome_trace_json(&outcome.campaign.trace))
+            .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+    }
+    if params.json {
+        let mut json = outcome.matrix.to_json();
+        json.push('\n');
+        Ok(json)
+    } else {
+        Ok(outcome.matrix.to_string())
+    }
+}
+
 /// Parameters of the `trace` command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceParams {
@@ -631,6 +722,93 @@ mod tests {
                 "{params:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn mutate_renders_the_kill_matrix_table() {
+        let params = MutateParams {
+            design: Some("fir".to_owned()),
+            level: Some("rtl".to_owned()),
+            size: 3,
+            seed: 7,
+            workers: 2,
+            json: false,
+            trace: None,
+        };
+        let out = run_mutate(&params).unwrap();
+        assert!(out.contains("kill matrix"), "{out}");
+        assert!(out.contains("mutation score"), "{out}");
+        assert!(out.contains("5/5"), "{out}");
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("no detection regressions"), "{out}");
+    }
+
+    #[test]
+    fn mutate_json_is_worker_independent() {
+        let mut params = MutateParams {
+            design: Some("fir".to_owned()),
+            level: None,
+            size: 3,
+            seed: 7,
+            workers: 1,
+            json: true,
+            trace: None,
+        };
+        let solo = run_mutate(&params).unwrap();
+        params.workers = 8;
+        let pooled = run_mutate(&params).unwrap();
+        assert_eq!(solo, pooled);
+        assert!(
+            solo.starts_with("{\"schema\":\"rtl2tlm-kill-matrix-v1\""),
+            "{solo}"
+        );
+        assert!(solo.ends_with("\n"), "trailing newline");
+    }
+
+    #[test]
+    fn mutate_rejects_unknown_inputs() {
+        let bad = [
+            MutateParams {
+                design: Some("z80".to_owned()),
+                ..MutateParams::default()
+            },
+            MutateParams {
+                level: Some("gate".to_owned()),
+                ..MutateParams::default()
+            },
+            MutateParams {
+                level: Some("tlm-at-bulk".to_owned()),
+                ..MutateParams::default()
+            },
+        ];
+        for params in bad {
+            assert!(
+                matches!(run_mutate(&params).unwrap_err(), CliError::Usage(_)),
+                "{params:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn mutate_trace_carries_the_kill_counter_track() {
+        let dir = std::env::temp_dir().join("rtl2tlm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mutate_trace.json");
+        let params = MutateParams {
+            design: Some("fir".to_owned()),
+            level: Some("rtl".to_owned()),
+            size: 3,
+            seed: 7,
+            workers: 2,
+            json: true,
+            trace: Some(path.to_string_lossy().into_owned()),
+        };
+        run_mutate(&params).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"name\":\"run\""), "{json}");
+        assert!(json.contains("mutation:FIR:RTL"), "{json}");
+        assert!(!json.contains("wall_us"), "deterministic trace: {json}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

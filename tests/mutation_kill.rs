@@ -1,0 +1,122 @@
+//! Tier-1 mutation kill-matrix test (paper Section V, faulty designs).
+//!
+//! Runs the full fault catalogue of all three IPs at RTL, TLM-CA and
+//! TLM-AT (workload size 8, seed 2015) and pins the kill matrix:
+//!
+//! - the unmutated baseline is failure-free everywhere (a kill is a
+//!   detection, never a false alarm);
+//! - every catalogued mutant is killed at every level — 100% mutation
+//!   score for all three IPs at RTL, and **zero** RTL→TLM detection
+//!   regressions, the empirical face of Theorem III.1;
+//! - latency mutants are killed by the latency properties;
+//! - the JSON report is byte-identical across worker counts.
+
+use abv_campaign::TraceSettings;
+use abv_mutate::{run_mutation, MutationOutcome, MutationPlan};
+use designs::{AbsLevel, DesignKind, Fault};
+
+fn full_outcome(workers: usize) -> MutationOutcome {
+    run_mutation(&MutationPlan::new(), workers, TraceSettings::off()).expect("valid plan")
+}
+
+#[test]
+fn baseline_survives_everywhere_with_zero_failures() {
+    let outcome = full_outcome(2);
+    assert!(outcome.matrix.baseline_clean());
+    for dm in &outcome.matrix.designs {
+        for cell in &dm.baseline().cells {
+            assert_eq!(
+                cell.failures,
+                0,
+                "{} baseline fails at {}",
+                dm.design.label(),
+                cell.level.label()
+            );
+            assert!(!cell.killed);
+        }
+    }
+}
+
+#[test]
+fn every_mutant_is_killed_at_every_level() {
+    let outcome = full_outcome(4);
+    for dm in &outcome.matrix.designs {
+        for row in dm.mutants.iter().filter(|m| m.fault != Fault::None) {
+            for cell in &row.cells {
+                assert!(
+                    cell.killed,
+                    "{} {} survives at {}",
+                    dm.design.label(),
+                    row.fault,
+                    cell.level.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rtl_mutation_score_is_total_for_all_three_ips() {
+    let outcome = full_outcome(2);
+    let expected = [
+        (DesignKind::Des56, 7),
+        (DesignKind::ColorConv, 7),
+        (DesignKind::Fir, 5),
+    ];
+    for (design, mutants) in expected {
+        let dm = outcome.matrix.design(design).expect("design ran");
+        for &level in &[AbsLevel::Rtl, AbsLevel::TlmCa, AbsLevel::TlmAt] {
+            assert_eq!(
+                dm.mutation_score(level),
+                (mutants, mutants),
+                "{} @ {}",
+                design.label(),
+                level.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn no_detection_power_is_lost_from_rtl_to_tlm() {
+    let outcome = full_outcome(2);
+    let regressions = outcome.matrix.detection_regressions();
+    assert!(
+        regressions.is_empty(),
+        "RTL kills escape at TLM: {regressions:?}"
+    );
+    assert!(outcome.matrix.detection_gains().is_empty());
+}
+
+#[test]
+fn latency_mutants_are_killed_by_latency_properties() {
+    let outcome = full_outcome(2);
+    let expected = [
+        (DesignKind::Des56, "p4"),
+        (DesignKind::ColorConv, "c1"),
+        (DesignKind::Fir, "f1"),
+    ];
+    for (design, latency_property) in expected {
+        let dm = outcome.matrix.design(design).expect("design ran");
+        let row = dm.mutant(Fault::LatencyShort).expect("catalogued");
+        for cell in &row.cells {
+            assert!(
+                cell.failing_properties().contains(&latency_property),
+                "{} latency-short at {}: {:?}",
+                design.label(),
+                cell.level.label(),
+                cell.failing_properties()
+            );
+        }
+    }
+}
+
+#[test]
+fn json_report_is_byte_identical_across_worker_counts() {
+    let solo = full_outcome(1).matrix.to_json();
+    let duo = full_outcome(2).matrix.to_json();
+    let octo = full_outcome(8).matrix.to_json();
+    assert_eq!(solo, duo);
+    assert_eq!(solo, octo);
+    assert!(solo.contains("\"schema\":\"rtl2tlm-kill-matrix-v1\""));
+}

@@ -101,6 +101,53 @@ fn fig5_trivially_true_activations_are_not_registered() {
 }
 
 #[test]
+fn drop_ready_mutant_times_out_with_a_fig5_trace_instant() {
+    // The DropReady mutant of the DES56 TLM-AT model publishes no
+    // completion transaction at all, so every q3 firing misses its exact
+    // +170ns evaluation instant: the first deadline (190ns) is detected at
+    // the next later event (the second request, 220ns), the second
+    // (390ns) only at simulation end. Each miss is a `timeout_fails`
+    // increment and a "timeout-fail" instant on the trace — Fig. 5's
+    // failure case, reached through a real mutant.
+    use abv_obs::Tracer;
+
+    let mut built = designs::build(
+        designs::DesignKind::Des56,
+        designs::AbsLevel::TlmAt,
+        2,
+        2015,
+        designs::Fault::DropReady,
+    )
+    .expect("DES56 supports drop-ready");
+    // Tracer first, so the checker's track metadata and fail instants
+    // land in the sink.
+    let (tracer, sink) = Tracer::memory();
+    built.set_tracer(tracer);
+    let q3: ClockedProperty = "always (!ds || next_et[1, 170] rdy) @T_b".parse().unwrap();
+    let binding = built.binding();
+    let checker = Checker::attach(&mut built.sim, "q3", &q3, binding).unwrap();
+    built.run();
+    let end = built.end_ns;
+    let report = checker.finalize(&mut built.sim, end);
+
+    assert_eq!(report.failure_count, 2, "one miss per request");
+    assert_eq!(report.timeout_fails, 2, "every failure is a timeout");
+    for failure in &report.failures {
+        assert!(
+            matches!(failure.reason, FailReason::MissedDeadline { .. }),
+            "{failure}"
+        );
+    }
+    assert_eq!(
+        report.failures[0].reason,
+        FailReason::MissedDeadline { deadline_ns: 190 }
+    );
+    let events = sink.borrow_mut().take_events();
+    let timeout_instants = events.iter().filter(|e| e.name == "timeout-fail").count();
+    assert_eq!(timeout_instants, 2, "one trace instant per missed deadline");
+}
+
+#[test]
 fn early_transactions_do_not_consume_the_evaluation_point() {
     // Transactions at t < ε are "not considered for the evaluation of
     // next_ε^τ(a)" (Section IV): many early transactions, then the exact
